@@ -1,0 +1,71 @@
+// Package drt_test hosts the benchmark harness: one testing.B benchmark
+// per table and figure of the paper's evaluation (DESIGN.md §4 maps each
+// to its experiment runner). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its figure's rows on scaled workloads; use
+// cmd/drtbench to print the tables themselves.
+package drt_test
+
+import (
+	"sync"
+	"testing"
+
+	"drt/internal/exp"
+)
+
+// benchContext is shared across benchmarks so the exact reference
+// products (the expensive part of workload preparation) are built once.
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *exp.Context
+)
+
+func ctx() *exp.Context {
+	benchCtxOnce.Do(func() {
+		benchCtx = exp.NewContext(exp.Options{Scale: 48, MicroTile: 8, MaxWorkloads: 6})
+	})
+	return benchCtx
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	c := ctx()
+	f, ok := c.Runner(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if table.NumRows() == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkFig01Traffic(b *testing.B)     { benchExperiment(b, "fig1") }
+func BenchmarkFig06SpMSpM(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig07TallSkinny(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig08MSBFS(b *testing.B)       { benchExperiment(b, "fig8") }
+func BenchmarkFig09Gram(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10Portability(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11Software(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12Bandwidth(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13Area(b *testing.B)        { benchExperiment(b, "fig13") }
+func BenchmarkFig14Partition(b *testing.B)   { benchExperiment(b, "fig14") }
+func BenchmarkFig15Alternating(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16StartSize(b *testing.B)   { benchExperiment(b, "fig16") }
+func BenchmarkFig17MicroTile(b *testing.B)   { benchExperiment(b, "fig17") }
+func BenchmarkSec65Extraction(b *testing.B)  { benchExperiment(b, "sec65") }
+func BenchmarkTab02Taxonomy(b *testing.B)    { benchExperiment(b, "tab2") }
+func BenchmarkTab03Catalog(b *testing.B)     { benchExperiment(b, "tab3") }
+
+func BenchmarkAblTCCFormat(b *testing.B)     { benchExperiment(b, "abl-tcc") }
+func BenchmarkAblAutoMicroTile(b *testing.B) { benchExperiment(b, "abl-auto") }
+func BenchmarkAblDynPartition(b *testing.B)  { benchExperiment(b, "abl-part") }
+func BenchmarkAblPipeline(b *testing.B)      { benchExperiment(b, "abl-pipe") }

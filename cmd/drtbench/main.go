@@ -1,0 +1,65 @@
+// Command drtbench regenerates the paper's evaluation: one experiment per
+// figure/table of Sec. 6 (see DESIGN.md §4 for the index). Workloads are
+// synthetic stand-ins for the SuiteSparse/SNAP suite, scaled down by
+// -scale with buffer capacities scaled to match, so the shape of every
+// result (who wins, by what factor) is preserved at laptop scale.
+//
+// Usage:
+//
+//	drtbench -exp fig6              # one experiment
+//	drtbench -exp all               # the full evaluation
+//	drtbench -exp fig6 -scale 8     # closer to full scale (slower)
+//	drtbench -list                  # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"drt/internal/exp"
+)
+
+func main() {
+	var (
+		expID     = flag.String("exp", "all", "experiment id (figN, sec65, tabN) or 'all'")
+		scale     = flag.Int("scale", 16, "workload scale-down factor (1 = full paper scale)")
+		microTile = flag.Int("microtile", 16, "micro tile edge in coordinates")
+		maxW      = flag.Int("workloads", 0, "cap on catalog entries per experiment (0 = all)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		csv       = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(exp.Experiments(), "\n"))
+		return
+	}
+
+	c := exp.NewContext(exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW})
+	ids := exp.Experiments()
+	if *expID != "all" {
+		ids = strings.Split(*expID, ",")
+	}
+	for _, id := range ids {
+		f, ok := c.Runner(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "drtbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drtbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s\n", table.Title, table.CSV())
+		} else {
+			fmt.Println(table.String())
+			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

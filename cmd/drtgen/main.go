@@ -1,0 +1,80 @@
+// Command drtgen generates and inspects the synthetic workload catalog:
+// it prints per-matrix statistics (dimensions, occupancy, density, row
+// variation, micro-tile occupancy histogram) so the stand-ins can be
+// compared against the Table 3 targets.
+//
+// Usage:
+//
+//	drtgen                      # summary of the whole catalog
+//	drtgen -matrix pwtk         # one matrix in detail
+//	drtgen -matrix pwtk -scale 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drt/internal/metrics"
+	"drt/internal/tiling"
+	"drt/internal/workloads"
+)
+
+func main() {
+	var (
+		name      = flag.String("matrix", "", "matrix name (empty = whole catalog)")
+		scale     = flag.Int("scale", 16, "scale-down factor")
+		microTile = flag.Int("microtile", 16, "micro tile edge for the occupancy histogram")
+	)
+	flag.Parse()
+
+	if *name == "" {
+		t := metrics.NewTable(fmt.Sprintf("Catalog at scale %d", *scale),
+			"matrix", "pattern", "dims", "nnz", "density", "row-var", "footprint-MB")
+		for _, e := range workloads.Table3 {
+			m := e.Generate(*scale)
+			t.AddRow(e.Name, e.Pattern.String(),
+				fmt.Sprintf("%dx%d", m.Rows, m.Cols), m.NNZ(), m.Density(),
+				m.RowNNZVariation(), metrics.MB(m.Footprint()))
+		}
+		fmt.Println(t.String())
+		return
+	}
+
+	e, err := workloads.Lookup(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drtgen:", err)
+		os.Exit(2)
+	}
+	m := e.Generate(*scale)
+	fmt.Printf("%s (scale %d): %dx%d, %d non-zeros, density %.3e, row variation %.3f\n",
+		e.Name, *scale, m.Rows, m.Cols, m.NNZ(), m.Density(), m.RowNNZVariation())
+
+	g := tiling.NewGrid(m, *microTile, *microTile)
+	// Occupancy histogram over non-empty micro tiles (powers of two).
+	hist := map[int]int{}
+	var nonEmpty int64
+	for r := 0; r < g.GR; r++ {
+		for c := 0; c < g.GC; c++ {
+			n := g.RegionNNZ(r, r+1, c, c+1)
+			if n == 0 {
+				continue
+			}
+			nonEmpty++
+			bucket := 0
+			for v := n; v > 1; v >>= 1 {
+				bucket++
+			}
+			hist[bucket]++
+		}
+	}
+	fmt.Printf("micro tiles (%dx%d): %d of %d non-empty (%.2f%%)\n",
+		*microTile, *microTile, nonEmpty, int64(g.GR)*int64(g.GC),
+		100*float64(nonEmpty)/float64(int64(g.GR)*int64(g.GC)))
+	fmt.Println("occupancy histogram (log2 buckets of nnz per stored micro tile):")
+	for b := 0; b <= 12; b++ {
+		if n, ok := hist[b]; ok {
+			fmt.Printf("  [%4d..%4d): %d tiles\n", 1<<b, 1<<(b+1), n)
+		}
+	}
+}

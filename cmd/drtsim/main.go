@@ -1,0 +1,162 @@
+// Command drtsim runs a single SpMSpM workload through one accelerator
+// configuration and prints the full result breakdown: per-tensor DRAM
+// traffic, arithmetic intensity, phase cycles, task statistics and energy.
+//
+// Usage:
+//
+//	drtsim -matrix cant -accel extensor-op-drt
+//	drtsim -matrix cit-HepPh -accel extensor-op -scale 8
+//	drtsim -matrix pwtk -accel outerspace-drt
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"drt"
+
+	"drt/internal/accel"
+	"drt/internal/accel/extensor"
+	"drt/internal/accel/matraptor"
+	"drt/internal/accel/outerspace"
+	"drt/internal/energy"
+	"drt/internal/exp"
+	"drt/internal/metrics"
+	"drt/internal/sim"
+	"drt/internal/workloads"
+)
+
+func main() {
+	var (
+		name      = flag.String("matrix", "cant", "catalog matrix name")
+		accelName = flag.String("accel", "extensor-op-drt", "accelerator: extensor | extensor-op | extensor-op-drt | outerspace[-suc|-drt] | matraptor[-suc|-drt]")
+		scale     = flag.Int("scale", 16, "workload scale-down factor")
+		microTile = flag.Int("microtile", 16, "micro tile edge")
+		trace     = flag.Bool("trace", false, "render the DRT task tiling of the K×J plane as ASCII")
+	)
+	flag.Parse()
+
+	e, err := workloads.Lookup(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drtsim:", err)
+		os.Exit(2)
+	}
+	a := e.Generate(*scale)
+	w, err := accel.NewWorkload(e.Name, a, a, *microTile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drtsim:", err)
+		os.Exit(1)
+	}
+	c := exp.NewContext(exp.Options{Scale: *scale, MicroTile: *microTile})
+	m := c.Machine()
+
+	r, err := run(*accelName, w, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drtsim:", err)
+		os.Exit(1)
+	}
+	print(w, r, m)
+	if *trace {
+		if err := printTrace(w, m, *microTile); err != nil {
+			fmt.Fprintln(os.Stderr, "drtsim:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printTrace plans the multiplication with the public DRT API and renders
+// each task's K×J tile of B as a lettered rectangle over a downsampled
+// canvas — nonuniform boxes, large over sparse regions, small over dense
+// ones.
+func printTrace(a *accel.Workload, m sim.Machine, microTile int) error {
+	// Budgets sized to a fraction of the operand footprints so the plane
+	// splits into enough tiles to see the nonuniform shapes.
+	fa, fb := a.InputFootprint()
+	capA := fa / 16
+	if capA < 2<<10 {
+		capA = 2 << 10
+	}
+	capB := fb / 16
+	if capB < 4<<10 {
+		capB = 4 << 10
+	}
+	plan, err := drt.PlanSpMSpM(a.A, a.B, drt.PlanConfig{
+		MicroTile: microTile,
+		BudgetA:   capA,
+		BudgetB:   capB,
+	})
+	if err != nil {
+		return err
+	}
+	const H, W = 32, 96
+	canvas := make([][]byte, H)
+	for r := range canvas {
+		canvas[r] = bytes.Repeat([]byte{'.'}, W)
+	}
+	glyphs := []byte("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789")
+	n, k := a.B.Cols, a.B.Rows
+	for i, t := range plan.Tasks {
+		g := glyphs[i%len(glyphs)]
+		r0 := t.K.Lo * H / k
+		r1 := (t.K.Hi*H + k - 1) / k
+		c0 := t.J.Lo * W / n
+		c1 := (t.J.Hi*W + n - 1) / n
+		for r := r0; r < r1 && r < H; r++ {
+			for c := c0; c < c1 && c < W; c++ {
+				canvas[r][c] = g
+			}
+		}
+	}
+	fmt.Printf("\nDRT task tiling of B's K×J plane (%d tasks, one glyph per task, downsampled %dx%d):\n", len(plan.Tasks), H, W)
+	for _, row := range canvas {
+		fmt.Println(string(row))
+	}
+	return nil
+}
+
+func run(name string, w *accel.Workload, m sim.Machine) (sim.Result, error) {
+	exOpt := extensor.DefaultOptions()
+	exOpt.Machine = m
+	osOpt := outerspace.Options{Machine: m, Partition: exOpt.Partition}
+	mrOpt := matraptor.Options{Machine: m, Partition: exOpt.Partition}
+	switch name {
+	case "extensor":
+		return extensor.Run(extensor.Original, w, exOpt)
+	case "extensor-op":
+		return extensor.Run(extensor.OP, w, exOpt)
+	case "extensor-op-drt":
+		return extensor.Run(extensor.OPDRT, w, exOpt)
+	case "outerspace":
+		return outerspace.Run(outerspace.Untiled, w, osOpt)
+	case "outerspace-suc":
+		return outerspace.Run(outerspace.SUC, w, osOpt)
+	case "outerspace-drt":
+		return outerspace.Run(outerspace.DRT, w, osOpt)
+	case "matraptor":
+		return matraptor.Run(matraptor.Untiled, w, mrOpt)
+	case "matraptor-suc":
+		return matraptor.Run(matraptor.SUC, w, mrOpt)
+	case "matraptor-drt":
+		return matraptor.Run(matraptor.DRT, w, mrOpt)
+	}
+	return sim.Result{}, fmt.Errorf("unknown accelerator %q", name)
+}
+
+func print(w *accel.Workload, r sim.Result, m sim.Machine) {
+	fa, fb := w.InputFootprint()
+	fmt.Printf("workload %s: A %dx%d (%d nnz), MACCs %d\n",
+		w.Name, w.A.Rows, w.A.Cols, w.A.NNZ(), w.MACCs)
+	fmt.Printf("input footprints: A %.3f MB, B %.3f MB, Z %.3f MB (read/write-once lower bound)\n",
+		metrics.MB(fa), metrics.MB(fb), metrics.MB(w.OutputFootprint()))
+	fmt.Printf("DRAM traffic:     A %.3f MB, B %.3f MB, Z %.3f MB  (total %.3f MB)\n",
+		metrics.MB(r.Traffic.A), metrics.MB(r.Traffic.B), metrics.MB(r.Traffic.Z), metrics.MB(r.Traffic.Total()))
+	fmt.Printf("arithmetic intensity: %.4f MACC/byte\n", r.AI())
+	fmt.Printf("cycles: dram %.3e, compute %.3e, extract %.3e → runtime %.3e (%.3f ms)\n",
+		r.DRAMCycles, r.ComputeCycles, r.ExtractCycles, r.Cycles(), m.Seconds(r.Cycles())*1e3)
+	fmt.Printf("tasks: %d total, %d empty (skipped), %d overflows\n", r.Tasks, r.EmptyTasks, r.Overflows)
+	br := energy.Estimate(r)
+	fmt.Printf("energy: %.3e J (dram %.1f%%, buffer %.1f%%, compute %.1f%%)\n",
+		br.Total(), 100*br.DRAM/br.Total(), 100*br.Buffer/br.Total(), 100*br.Compute/br.Total())
+}

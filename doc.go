@@ -1,0 +1,28 @@
+// Package drt is a Go implementation of dynamic reflexive tiling (DRT)
+// from "Accelerating Sparse Data Orchestration via Dynamic Reflexive
+// Tiling" (ASPLOS 2023): a sparsity-aware tiler for sparse×sparse tensor
+// kernels that grows nonuniform coordinate-space tiles at runtime to keep
+// a fast-memory budget maximally occupied, while co-tiling the shared
+// dimensions of all participating tensors so tiles still line up for
+// co-iteration.
+//
+// The top-level package is a facade over the full system in internal/
+// (formats, generators, the DRT core, accelerator models and the paper's
+// experiment harness). Typical use tiles a sparse matrix multiplication
+// for a given fast-memory budget:
+//
+//	a := drt.MatrixFromCOO(rows, cols, is, js, vs)
+//	b := ...
+//	plan, err := drt.PlanSpMSpM(a, b, drt.PlanConfig{
+//		MicroTile:    32,
+//		BudgetA:      256 << 10,
+//		BudgetB:      1 << 20,
+//	})
+//	for _, task := range plan.Tasks {
+//		// task.I/J/K are coordinate ranges: compute Z[task.I, task.J] +=
+//		// A[task.I, task.K] · B[task.K, task.J] with both tiles resident.
+//	}
+//
+// Multiply provides an exact reference SpMSpM for validation, and
+// plan.Stats reports the reuse the tiling achieved.
+package drt

@@ -1,0 +1,51 @@
+package drt_test
+
+import (
+	"fmt"
+
+	"drt"
+)
+
+// ExamplePlanSpMSpM tiles a small sparse multiplication and executes the
+// plan, verifying it against the reference product.
+func ExamplePlanSpMSpM() {
+	// A 4×4 instance of the paper's Fig. 3 example: A's non-zeros sit in
+	// column 0, B's in rows 0 and 2.
+	a, _ := drt.MatrixFromCOO(4, 4,
+		[]int{0, 2, 3}, []int{0, 0, 0}, []float64{0.5, 0.2, 0.7})
+	b, _ := drt.MatrixFromCOO(4, 4,
+		[]int{0, 0, 2, 2}, []int{0, 3, 0, 1}, []float64{0.3, 1.1, 0.1, 0.8})
+
+	plan, err := drt.PlanSpMSpM(a, b, drt.PlanConfig{
+		MicroTile: 1,
+		BudgetA:   2 * 44, // room for about two stored points per operand
+		BudgetB:   2 * 44,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, t := range plan.Tasks {
+		fmt.Printf("task %d: I[%d,%d) J[%d,%d) K[%d,%d)\n",
+			i+1, t.I.Lo, t.I.Hi, t.J.Lo, t.J.Hi, t.K.Lo, t.K.Hi)
+	}
+
+	z, _ := plan.Execute(a, b)
+	want, _, _ := drt.Multiply(a, b)
+	fmt.Println("matches reference:", z.EqualApprox(want, 1e-12))
+	// Output:
+	// task 1: I[0,3) J[0,1) K[0,4)
+	// task 2: I[3,4) J[0,1) K[0,4)
+	// task 3: I[0,3) J[1,4) K[0,4)
+	// task 4: I[3,4) J[1,4) K[0,4)
+	// matches reference: true
+}
+
+// ExampleMultiply computes an exact sparse product.
+func ExampleMultiply() {
+	a, _ := drt.MatrixFromCOO(2, 2, []int{0, 1}, []int{1, 0}, []float64{2, 3})
+	z, maccs, _ := drt.Multiply(a, a)
+	fmt.Println("Z(0,0) =", z.At(0, 0), "Z(1,1) =", z.At(1, 1), "MACCs =", maccs)
+	// Output:
+	// Z(0,0) = 6 Z(1,1) = 6 MACCs = 2
+}

@@ -1,0 +1,69 @@
+// Quickstart: tile a sparse matrix multiplication with dynamic reflexive
+// tiling through the public drt API and print the resulting Einsum tasks.
+//
+// This walks the paper's Fig. 3 flow end to end: build two sparse
+// matrices, plan the multiplication under a fast-memory budget, watch DRT
+// grow nonuniform coordinate-space tiles — large over sparse regions,
+// small over dense ones — and verify the plan computes the exact product.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drt"
+
+	"drt/internal/gen"
+)
+
+func main() {
+	// Two 256x256 power-law matrices: the irregular sparsity that makes
+	// static tiling leave buffers underfilled.
+	a := gen.RMAT(256, 2500, 0.57, 0.19, 0.19, 1)
+	b := gen.RMAT(256, 2500, 0.57, 0.19, 0.19, 2)
+	fmt.Printf("A: %dx%d with %d non-zeros (density %.3f%%)\n", a.Rows, a.Cols, a.NNZ(), 100*a.Density())
+	fmt.Printf("B: %dx%d with %d non-zeros (density %.3f%%)\n\n", b.Rows, b.Cols, b.NNZ(), 100*b.Density())
+
+	// Plan Z = A·B with 4 KB of fast memory per operand: DRT grows each
+	// tile until its partition is full, co-tiling the shared K ranges.
+	plan, err := drt.PlanSpMSpM(a, b, drt.PlanConfig{
+		MicroTile: 8,
+		BudgetA:   4 << 10,
+		BudgetB:   4 << 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("DRT Einsum tasks (coordinate ranges):")
+	for i, t := range plan.Tasks {
+		if i == 12 {
+			fmt.Printf("  ... %d tasks total\n", len(plan.Tasks))
+			break
+		}
+		fmt.Printf("  task %2d: I[%4d,%4d) J[%4d,%4d) K[%4d,%4d)  A %4dB/%3d nnz, B %4dB/%3d nnz\n",
+			i+1, t.I.Lo, t.I.Hi, t.J.Lo, t.J.Hi, t.K.Lo, t.K.Hi,
+			t.ABytes, t.ANonZeros, t.BBytes, t.BNonZeros)
+	}
+	fmt.Printf("\nreuse: A loaded %d B (one pass = %d), B loaded %d B (one pass = %d)\n",
+		plan.Stats.LoadedABytes, plan.Stats.OnePassABytes,
+		plan.Stats.LoadedBBytes, plan.Stats.OnePassBBytes)
+
+	// Executing the plan reproduces the exact product.
+	got, err := plan.Execute(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, maccs, err := drt.Multiply(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !got.EqualApprox(want, 1e-9) {
+		log.Fatal("plan execution diverged from the reference product")
+	}
+	fmt.Printf("\nverified: plan computes the exact product (%d nnz, %d effectual MACCs)\n", want.NNZ(), maccs)
+	fmt.Println("\nNote how K and J ranges differ task to task: tile shape adapts to")
+	fmt.Println("local sparsity so each buffer fill carries maximal occupancy.")
+}

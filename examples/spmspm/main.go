@@ -1,0 +1,59 @@
+// SpMSpM acceleration: compare ExTensor, ExTensor-OP and ExTensor-OP-DRT
+// on a Markov-clustering-style S² workload (the paper's Fig. 6 scenario)
+// and show where DRT's win comes from: DRAM traffic per operand,
+// arithmetic intensity, and modeled runtime/energy.
+//
+// Run with: go run ./examples/spmspm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drt/internal/accel"
+	"drt/internal/accel/extensor"
+	"drt/internal/energy"
+	"drt/internal/metrics"
+	"drt/internal/workloads"
+)
+
+func main() {
+	// A scaled stand-in for the cit-HepPh citation graph: unstructured
+	// power-law sparsity, the regime where static tiling underfills.
+	entry, err := workloads.Lookup("cit-HepPh")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const scale = 32
+	a := entry.Generate(scale)
+	w, err := accel.NewWorkload(entry.Name, a, a, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("S² workload %s (scale %d): %dx%d, %d nnz, %d effectual MACCs\n\n",
+		entry.Name, scale, a.Rows, a.Cols, a.NNZ(), w.MACCs)
+
+	opt := extensor.DefaultOptions()
+	opt.Machine.GlobalBuffer /= scale * scale // keep buffer:working-set ratio
+
+	table := metrics.NewTable("ExTensor family on "+entry.Name,
+		"variant", "A-MB", "B-MB", "Z-MB", "AI", "runtime-ms", "energy-mJ", "tasks")
+	for _, v := range []extensor.Variant{extensor.Original, extensor.OP, extensor.OPDRT} {
+		r, err := extensor.Run(v, w, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(v.String(),
+			metrics.MB(r.Traffic.A), metrics.MB(r.Traffic.B), metrics.MB(r.Traffic.Z),
+			r.AI(), opt.Machine.Seconds(r.Cycles())*1e3,
+			energy.Estimate(r).Total()*1e3, r.Tasks)
+	}
+	fmt.Println(table.String())
+
+	fa, fb := w.InputFootprint()
+	fmt.Printf("traffic lower bound (read inputs once, write output once): %.3f MB\n",
+		metrics.MB(fa+fb+w.OutputFootprint()))
+	fmt.Println("\nDRT reads closer to the lower bound because nonuniform tiles keep")
+	fmt.Println("the buffer maximally occupied, so each pass over the non-stationary")
+	fmt.Println("operand covers a larger coordinate range.")
+}

@@ -1,0 +1,51 @@
+// Software DRT (the paper's Study 3): treat the CPU's last-level cache as
+// the fast memory and compare the memory traffic of untiled, statically
+// tiled (S-U-C) and dynamically reflexively tiled (DRT, alternating
+// variant) sparse matrix multiplication.
+//
+// Run with: go run ./examples/swtiling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drt/internal/accel"
+	"drt/internal/gen"
+	"drt/internal/metrics"
+	"drt/internal/swdrt"
+	"drt/internal/tiling"
+)
+
+func main() {
+	// An unstructured power-law graph squared (the Markov-clustering
+	// pattern), with an LLC that holds only a fraction of the inputs.
+	a := gen.RMAT(4096, 120000, 0.57, 0.19, 0.19, 3)
+	fmt.Printf("S²: %dx%d, %d nnz, footprint %.2f MB\n", a.Rows, a.Cols, a.NNZ(), metrics.MB(a.Footprint()))
+
+	opt := swdrt.DefaultOptions()
+	opt.LLCBytes = 512 << 10
+	fmt.Printf("LLC (fast memory): %d KB\n\n", opt.LLCBytes>>10)
+
+	table := metrics.NewTable("Software tiling study", "variant", "traffic-MB", "vs untiled")
+	for _, f := range []tiling.Format{tiling.TUC, tiling.TCC} {
+		w, err := accel.NewWorkloadWithFormat("rmat4k", a, a, 16, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := swdrt.Run(w, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if f == tiling.TUC {
+			table.AddRow("untiled", metrics.MB(s.UntiledBytes), 1.0)
+			table.AddRow("S-U-C ("+f.String()+" tiles)", metrics.MB(s.SUCBytes), s.SUCImprovement())
+		}
+		table.AddRow("DRT alternating ("+f.String()+" tiles)", metrics.MB(s.DNCBytes), s.DNCImprovement())
+	}
+	fmt.Println(table.String())
+	fmt.Println("DRT collects sparse micro tiles until the cache budget is full, so each")
+	fmt.Println("pass over the inputs covers a larger coordinate range than any static")
+	fmt.Println("shape can; T-CC micro tiles additionally shave the metadata overhead the")
+	fmt.Println("paper's Fig. 11 outliers suffered.")
+}

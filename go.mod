@@ -1,0 +1,3 @@
+module drt
+
+go 1.22

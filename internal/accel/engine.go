@@ -1,0 +1,395 @@
+package accel
+
+import (
+	"fmt"
+
+	"drt/internal/core"
+	"drt/internal/extractor"
+	"drt/internal/kernels"
+	"drt/internal/sim"
+	"drt/internal/tensor"
+)
+
+// PartialBytes is the byte cost of one spilled partial-output element
+// (coordinate + value) in the multiply-and-merge output model.
+const PartialBytes = tensor.MetaBytes + tensor.ValueBytes
+
+// EngineOptions configures one run of the generic task-stream engine.
+// Every modeled accelerator is a particular setting of these options: its
+// dataflow (loop order), its tiling discipline (strategy + initial sizes),
+// its buffer partitioning and its intersection microarchitecture.
+type EngineOptions struct {
+	Machine          sim.Machine
+	CapA, CapB, CapO int64
+	LoopOrder        []int
+	Strategy         core.Strategy
+	InitialSize      []int
+	GrowStep         int
+	Intersect        sim.IntersectKind
+	Extractor        extractor.Kind
+	// PELevel, when non-nil, applies DRT hierarchically (Sec. 3.2.1 /
+	// Fig. 5): each DRAM→LLB task is re-tiled into LLB→PE sub-tasks by a
+	// second tile extractor, which refines NoC traffic, PE load balance
+	// and extraction-cycle accounting. DRAM traffic is unaffected — it is
+	// set by the outer level.
+	PELevel *PELevelOptions
+	// ConstrainOutput registers the output tensor in the growth kernel so
+	// its tile footprint caps growth against CapO (Alg. 1's sum-of-tile-
+	// footprints check). Output-resident designs — the software study's
+	// LLC inner product — want this; multiply-and-merge designs like
+	// ExTensor-OP instead reduce partial outputs "until those tiles need
+	// to be spilled" and leave growth unconstrained, paying spill traffic
+	// through the output model.
+	ConstrainOutput bool
+}
+
+// PELevelOptions configures the inner (LLB→PE) tiling level.
+type PELevelOptions struct {
+	CapA, CapB, CapO int64 // per-PE buffer partitions
+	LoopOrder        []int // the LLB→PE dataflow (Fig. 5 uses K→I→J)
+	Strategy         core.Strategy
+}
+
+// regionState tracks one output macro region through the multiply-and-merge
+// lifecycle (Sec. 5.2.1: ExTensor-OP "performs local reductions of partial
+// sums in output tiles until those tiles need to be spilled to memory").
+type regionState struct {
+	key      [4]int
+	estF     int64 // footprint of the region in the final output
+	resident bool
+	spilled  int64 // bytes of this region currently spilled to DRAM
+	partial  int64 // partial-output points accumulated since load
+}
+
+// outputModel charges output (Z) traffic as regions of the output move
+// between the output buffer partition and DRAM.
+type outputModel struct {
+	w       *Workload
+	capO    int64
+	regions map[[4]int]*regionState
+	fifo    []*regionState // resident regions in load order
+	bytes   int64          // resident footprint total
+	zTotal  int64          // accumulated Z traffic (reads + writes)
+}
+
+func newOutputModel(w *Workload, capO int64) *outputModel {
+	return &outputModel{w: w, capO: capO, regions: map[[4]int]*regionState{}}
+}
+
+func (o *outputModel) estFootprint(k [4]int) int64 {
+	return o.w.GZ.RegionFootprint(k[0], k[1], k[2], k[3])
+}
+
+// touch accounts one task's partial output landing in region (i0,i1,j0,j1)
+// (grid coordinates) with newPartial fresh partial-output points.
+func (o *outputModel) touch(k [4]int, newPartial int64) {
+	if newPartial == 0 {
+		return
+	}
+	r := o.regions[k]
+	if r == nil {
+		r = &regionState{key: k, estF: o.estFootprint(k)}
+		o.regions[k] = r
+	}
+	if r.estF > o.capO {
+		// The region alone exceeds the output partition: stream partials
+		// through DRAM, re-reading the accumulated result to merge.
+		o.zTotal += r.spilled // merge re-read
+		r.partial += newPartial
+		w := minI64(r.estF, r.partial*PartialBytes)
+		o.zTotal += w // spill write
+		r.spilled = w
+		return
+	}
+	if !r.resident {
+		for o.bytes+r.estF > o.capO && len(o.fifo) > 0 {
+			o.evict(o.fifo[0])
+		}
+		r.resident = true
+		o.fifo = append(o.fifo, r)
+		o.bytes += r.estF
+		if r.spilled > 0 {
+			// A previously spilled partial is read back and merged into
+			// the on-chip accumulation.
+			o.zTotal += r.spilled
+			r.spilled = 0
+		}
+	}
+	r.partial += newPartial
+}
+
+func (o *outputModel) evict(r *regionState) {
+	w := minI64(r.estF, r.partial*PartialBytes)
+	if r.spilled > 0 {
+		w = maxI64(w, r.spilled)
+	}
+	o.zTotal += w
+	r.spilled = w
+	r.partial = 0
+	r.resident = false
+	o.bytes -= r.estF
+	// Remove from the FIFO.
+	for i, e := range o.fifo {
+		if e == r {
+			o.fifo = append(o.fifo[:i], o.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// flush writes back every resident region; called at end of kernel.
+func (o *outputModel) flush() {
+	for len(o.fifo) > 0 {
+		o.evict(o.fifo[0])
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunTasks drives the task-stream engine: enumerate DRT (or static) tasks,
+// charge input tile traffic as tiles are rebuilt, run the exact
+// range-restricted kernel for compute statistics, feed the PE array and
+// the extraction pipeline, and account output traffic through the
+// multiply-and-merge model. It verifies the task partition covers the
+// kernel exactly.
+func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
+	k := w.Kernel(opt.CapA, opt.CapB)
+	if opt.ConstrainOutput {
+		k = w.KernelWithOutput(opt.CapA, opt.CapB, opt.CapO)
+	}
+	cfg := &core.Config{
+		LoopOrder:   opt.LoopOrder,
+		Strategy:    opt.Strategy,
+		InitialSize: opt.InitialSize,
+		GrowStep:    opt.GrowStep,
+	}
+	e, err := core.NewEnumerator(k, cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+
+	res := sim.Result{Name: w.Name, MACCs: 0}
+	pe := sim.NewPEArray(opt.Machine.PEs)
+	out := newOutputModel(w, opt.CapO)
+	spa := kernels.NewSPA(w.B.Cols)
+	mt := w.MicroTile
+
+	// pendingLoad[op] holds the footprint of a rebuilt tile that has not
+	// yet been charged: tiles rebuilt during empty tasks are never
+	// fetched, so the charge lands on the first non-empty task that uses
+	// the residency.
+	pendingLoad := [2]int64{}
+	var extractTotal float64
+	var inputTraffic int64
+	var pipe sim.Pipeline
+
+	for {
+		t, ok, err := e.Next()
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if !ok {
+			break
+		}
+		res.Tasks++
+		if t.Overflow {
+			res.Overflows++
+		}
+		for oi := 0; oi < 2; oi++ {
+			if t.Rebuilt[oi] {
+				pendingLoad[oi] = t.OpFootprint[oi]
+			}
+		}
+		if t.Empty {
+			res.EmptyTasks++
+			continue
+		}
+		// Charge input tile loads.
+		var taskBytes int64
+		for oi := 0; oi < 2; oi++ {
+			if pendingLoad[oi] > 0 {
+				taskBytes += pendingLoad[oi]
+				if oi == OpA {
+					res.Traffic.A += pendingLoad[oi]
+				} else {
+					res.Traffic.B += pendingLoad[oi]
+				}
+				pendingLoad[oi] = 0
+			}
+		}
+		inputTraffic += taskBytes
+
+		// Exact task-local compute.
+		iR := kernels.Range{Lo: t.Ranges[DimI].Lo * mt, Hi: t.Ranges[DimI].Hi * mt}
+		jR := kernels.Range{Lo: t.Ranges[DimJ].Lo * mt, Hi: t.Ranges[DimJ].Hi * mt}
+		kR := kernels.Range{Lo: t.Ranges[DimK].Lo * mt, Hi: t.Ranges[DimK].Hi * mt}
+		tr := kernels.RestrictedGustavson(w.A, w.B, iR, kR, jR, spa)
+		res.MACCs += tr.MACCs
+		res.IntersectOps += tr.ScannedA + 2*tr.MACCs
+
+		var taskCompute float64
+		if opt.PELevel != nil {
+			// Hierarchical DRT: a second tile extractor splits the LLB
+			// task into PE sub-tasks; each sub-task is one round-robin
+			// work item and its tile distribution rides the NoC.
+			inner, err := runPELevel(w, &opt, &t, pe, spa)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			if inner.maccs != tr.MACCs {
+				return sim.Result{}, fmt.Errorf("accel: %s: PE level covered %d MACCs of task's %d", w.Name, inner.maccs, tr.MACCs)
+			}
+			res.NoCBytes += inner.nocBytes
+			extractTotal += inner.extract
+			taskCompute = inner.computeSum / float64(opt.Machine.PEs)
+		} else {
+			for _, rc := range sim.RowWorkCycles(opt.Intersect, tr.Rows) {
+				pe.Assign(rc)
+				taskCompute += rc
+			}
+			taskCompute /= float64(opt.Machine.PEs)
+		}
+
+		// Output accounting.
+		out.touch([4]int{t.Ranges[DimI].Lo, t.Ranges[DimI].Hi, t.Ranges[DimJ].Lo, t.Ranges[DimJ].Hi}, tr.OutputNNZ)
+
+		// Extraction pipeline bookkeeping: phase total plus an explicit
+		// event-driven schedule (extract → fetch → compute per task with
+		// double buffering and per-request DRAM latency).
+		taskExtract := extractor.TaskCost(opt.Extractor, &t).Total()
+		extractTotal += taskExtract
+		fetch := 0.0
+		if taskBytes > 0 {
+			fetch = opt.Machine.DRAMLatency + opt.Machine.DRAMCycles(taskBytes)
+		}
+		pipe.Push(taskExtract, fetch, taskCompute)
+	}
+	out.flush()
+	res.Traffic.Z = out.zTotal
+
+	if res.MACCs != w.MACCs {
+		return sim.Result{}, fmt.Errorf("accel: %s: task partition covered %d MACCs, kernel has %d", w.Name, res.MACCs, w.MACCs)
+	}
+
+	res.DRAMCycles = opt.Machine.DRAMCycles(res.Traffic.Total())
+	res.ComputeCycles = pe.MaxBusy()
+	res.ExtractCycles = extractTotal
+	// The event-driven schedule covers input fetches; output drain shares
+	// the memory channel, so the makespan is additionally bounded by the
+	// full DRAM phase.
+	res.PipelineCyclesExact = pipe.Makespan()
+	if res.DRAMCycles > res.PipelineCyclesExact {
+		res.PipelineCyclesExact = res.DRAMCycles
+	}
+	res.BufferAccessBytes = inputTraffic + res.Traffic.Z + res.MACCs*PartialBytes
+	if opt.PELevel == nil {
+		res.NoCBytes = inputTraffic
+	}
+	return res, nil
+}
+
+// peLevelStats aggregates one LLB task's inner (LLB→PE) tiling level.
+type peLevelStats struct {
+	maccs      int64
+	nocBytes   int64
+	computeSum float64
+	extract    float64
+}
+
+// runPELevel re-tiles one outer task with the PE-level extractor and
+// distributes the resulting sub-tasks round-robin across the PE array.
+func runPELevel(w *Workload, opt *EngineOptions, outer *core.Task, pe *sim.PEArray, spa *kernels.SPA) (peLevelStats, error) {
+	var st peLevelStats
+	pl := opt.PELevel
+	k := w.Kernel(pl.CapA, pl.CapB)
+	cfg := &core.Config{
+		LoopOrder: pl.LoopOrder,
+		Strategy:  pl.Strategy,
+		Window:    outer.Ranges,
+	}
+	e, err := core.NewEnumerator(k, cfg)
+	if err != nil {
+		return st, err
+	}
+	mt := w.MicroTile
+	pending := [2]int64{}
+	// seenRegions remembers each operand's already-distributed sub-tile
+	// regions within this outer task: a rebuild that re-derives a region
+	// distributed before (e.g. the streamed operand's sub-tile sequence
+	// recurring for every parallel I range) is served by the NoC's
+	// multicast (Sec. 5.2.1 notes ExTensor's regular multicast patterns)
+	// — its bytes amortize across the PE array and its metadata needs no
+	// rebuild.
+	seenRegions := [2]map[[2][2]int]bool{{}, {}}
+	for oi := range seenRegions {
+		seenRegions[oi] = map[[2][2]int]bool{}
+	}
+	opRegion := func(oi int, t *core.Task) [2][2]int {
+		op := &k.Operands[oi]
+		var r [2][2]int
+		for i, d := range op.Dims {
+			r[i] = [2]int{t.Ranges[d].Lo, t.Ranges[d].Hi}
+		}
+		return r
+	}
+	for {
+		t, ok, err := e.Next()
+		if err != nil {
+			return st, err
+		}
+		if !ok {
+			break
+		}
+		for oi := 0; oi < 2; oi++ {
+			if !t.Rebuilt[oi] {
+				continue
+			}
+			reg := opRegion(oi, &t)
+			if seenRegions[oi][reg] {
+				// Multicast replay of an already-distributed sub-tile.
+				pending[oi] = t.OpFootprint[oi] / int64(opt.Machine.PEs)
+				continue
+			}
+			pending[oi] = t.OpFootprint[oi]
+			seenRegions[oi][reg] = true
+			// Second-level extraction for this operand's new sub-tile is
+			// the Aggregate unit's P-wide pass over its micro-tile
+			// metadata; metadata itself was already built by the DRAM
+			// S-DOP (Fig. 5 streams micro tile pointers to the PEs, with
+			// no re-emission at this level).
+			if opt.Extractor == extractor.ParallelExtractor {
+				st.extract += float64(t.OpTiles[oi]) / extractor.Width
+			}
+		}
+		if t.Empty {
+			continue
+		}
+		var distributed int64
+		for oi := 0; oi < 2; oi++ {
+			distributed += pending[oi]
+			pending[oi] = 0
+		}
+		st.nocBytes += distributed
+		iR := kernels.Range{Lo: t.Ranges[DimI].Lo * mt, Hi: t.Ranges[DimI].Hi * mt}
+		jR := kernels.Range{Lo: t.Ranges[DimJ].Lo * mt, Hi: t.Ranges[DimJ].Hi * mt}
+		kR := kernels.Range{Lo: t.Ranges[DimK].Lo * mt, Hi: t.Ranges[DimK].Hi * mt}
+		tr := kernels.RestrictedGustavson(w.A, w.B, iR, kR, jR, spa)
+		st.maccs += tr.MACCs
+		cycles := sim.ComputeCycles(opt.Intersect, tr.ScannedA+2*tr.MACCs, tr.MACCs)
+		pe.Assign(cycles)
+		st.computeSum += cycles
+	}
+	return st, nil
+}

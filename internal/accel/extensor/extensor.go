@@ -1,0 +1,231 @@
+// Package extensor models the ExTensor accelerator family of the paper's
+// Study 1 (Sec. 5.2.1): the original inner-product S-U-C design, the
+// improved ExTensor-OP (outer-product dataflow between the global and
+// local buffers with multiply-and-merge), and ExTensor-OP-DRT ("TACTile"),
+// which replaces the static tiler with the DRT tile extractor.
+//
+// All three share the task-stream engine in internal/accel; they differ
+// only in loop order (dataflow), tiling strategy and, for the S-U-C
+// designs, the static tile-shape sweep the paper grants the baseline
+// ("our evaluation represents a best-case scenario for an S-U-C scheme").
+package extensor
+
+import (
+	"fmt"
+	"math"
+
+	"drt/internal/accel"
+	"drt/internal/core"
+	"drt/internal/extractor"
+	"drt/internal/sim"
+	"drt/internal/tensor"
+)
+
+// Variant selects the modeled design.
+type Variant int
+
+const (
+	// Original is ExTensor as published: inner-product (output
+	// stationary) dataflow with S-U-C tiling at each level.
+	Original Variant = iota
+	// OP is ExTensor-OP: outer-product dataflow between global and local
+	// buffers with local reduction of partial outputs, still S-U-C.
+	OP
+	// OPDRT is ExTensor-OP-DRT (TACTile): ExTensor-OP with the DRT tile
+	// extractor in each S-DOP.
+	OPDRT
+)
+
+// String returns the variant name used in the figures.
+func (v Variant) String() string {
+	switch v {
+	case Original:
+		return "ExTensor"
+	case OP:
+		return "ExTensor-OP"
+	case OPDRT:
+		return "ExTensor-OP-DRT"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Options carries the machine and study knobs.
+type Options struct {
+	Machine   sim.Machine
+	Partition sim.Partition
+	Intersect sim.IntersectKind
+	Extractor extractor.Kind
+	// Strategy applies to OPDRT only: GreedyContractedFirst (default) or
+	// Alternating (Fig. 15 study).
+	Strategy core.Strategy
+	// InitialSize optionally overrides DRT's starting tile size per
+	// kernel dimension in micro tiles (Fig. 16 sweeps the J entry).
+	InitialSize []int
+	// SingleLevel disables the hierarchical LLB→PE tiling level of
+	// ExTensor-OP-DRT (Sec. 4: "DRT sub-divides tiles twice"); traffic is
+	// unchanged but NoC/extraction/load-balance detail is coarser.
+	SingleLevel bool
+	// StaticShape pins the S-U-C variants to one tile shape [I, J, K]
+	// (grid units) instead of sweeping candidates. Multi-kernel workloads
+	// like MS-BFS sweep once per workload, not once per kernel (Sec. 5.2:
+	// the paper sweeps per workload).
+	StaticShape []int
+}
+
+// DefaultOptions returns the normalized configuration of Sec. 5.2.1.
+func DefaultOptions() Options {
+	return Options{
+		Machine:   sim.DefaultMachine(),
+		Partition: sim.DefaultPartition(),
+		Intersect: sim.Parallel,
+		Extractor: extractor.ParallelExtractor,
+		Strategy:  core.GreedyContractedFirst,
+	}
+}
+
+// Run simulates one workload on the selected variant.
+func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
+	if err := opt.Partition.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	capA, capB, capO := opt.Partition.Split(opt.Machine.GlobalBuffer)
+	base := accel.EngineOptions{
+		Machine:   opt.Machine,
+		CapA:      capA,
+		CapB:      capB,
+		CapO:      capO,
+		Intersect: opt.Intersect,
+		Extractor: opt.Extractor,
+	}
+	switch v {
+	case Original:
+		// Output-stationary inner product: I → J → K, with the published
+		// design's serial skip-based intersection unit (ExTensor-OP and
+		// OP-DRT use the parallelized variant, Sec. 5.2.1).
+		base.LoopOrder = []int{accel.DimI, accel.DimJ, accel.DimK}
+		base.Strategy = core.Static
+		base.Intersect = sim.SkipBased
+		base.Extractor = extractor.IdealExtractor // no DRT hardware
+		if opt.StaticShape != nil {
+			base.InitialSize = opt.StaticShape
+			return accel.RunTasks(w, base)
+		}
+		r, _, err := sweepStatic(w, base, capA, capB)
+		return r, err
+	case OP:
+		// B-stationary outer-product-style dataflow: J → K → I.
+		base.LoopOrder = []int{accel.DimJ, accel.DimK, accel.DimI}
+		base.Strategy = core.Static
+		base.Extractor = extractor.IdealExtractor
+		if opt.StaticShape != nil {
+			base.InitialSize = opt.StaticShape
+			return accel.RunTasks(w, base)
+		}
+		r, _, err := sweepStatic(w, base, capA, capB)
+		return r, err
+	case OPDRT:
+		base.LoopOrder = []int{accel.DimJ, accel.DimK, accel.DimI}
+		base.Strategy = opt.Strategy
+		base.InitialSize = opt.InitialSize
+		if !opt.SingleLevel {
+			// Second tiling level: each LLB tile is re-tiled into PE
+			// sub-tiles with the K → I → J dataflow of Fig. 5.
+			pa, pb, po := opt.Partition.Split(opt.Machine.PEBuffer)
+			base.PELevel = &accel.PELevelOptions{
+				CapA: pa, CapB: pb, CapO: po,
+				LoopOrder: []int{accel.DimK, accel.DimI, accel.DimJ},
+				Strategy:  opt.Strategy,
+			}
+		}
+		return accel.RunTasks(w, base)
+	}
+	return sim.Result{}, fmt.Errorf("extensor: unknown variant %d", v)
+}
+
+// staticShapes proposes S-U-C tile shapes (in micro-tile grid units) whose
+// worst-case dense footprint fits the partitions — the constraint the
+// paper identifies for explicitly managed buffers (Sec. 4.1) — and a few
+// aspect-ratio variants for the sweep.
+func staticShapes(w *accel.Workload, capA, capB int64) [][3]int {
+	mt := w.MicroTile
+	denseTileBytes := float64(mt*mt) * (tensor.MetaBytes + tensor.ValueBytes)
+	// Balanced square B tile: sk·sj grid cells with dense bytes ≤ capB.
+	cells := float64(capB) / denseTileBytes
+	side := int(math.Sqrt(cells))
+	if side < 1 {
+		side = 1
+	}
+	shape := func(sk, sj int) [3]int {
+		if sk < 1 {
+			sk = 1
+		}
+		if sj < 1 {
+			sj = 1
+		}
+		// A (I×K) shares sk; its I extent comes from capA.
+		si := int(float64(capA) / denseTileBytes / float64(sk))
+		if si < 1 {
+			si = 1
+		}
+		return [3]int{si, sj, sk}
+	}
+	return [][3]int{
+		shape(side, side),
+		shape(side*2, side/2),
+		shape(side/2, side*2),
+		shape(side*4, side/4),
+	}
+}
+
+// sweepStatic runs every candidate static shape and returns the best
+// (lowest-cycle) result and its shape, mirroring the paper's per-workload
+// shape sweep.
+func sweepStatic(w *accel.Workload, base accel.EngineOptions, capA, capB int64) (sim.Result, []int, error) {
+	var best sim.Result
+	var bestShape []int
+	var firstErr error
+	for _, s := range staticShapes(w, capA, capB) {
+		opt := base
+		opt.InitialSize = []int{s[0], s[1], s[2]}
+		r, err := accel.RunTasks(w, opt)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if bestShape == nil || r.Cycles() < best.Cycles() {
+			best, bestShape = r, opt.InitialSize
+		}
+	}
+	if bestShape == nil {
+		return sim.Result{}, nil, fmt.Errorf("extensor: no static shape succeeded: %w", firstErr)
+	}
+	return best, bestShape, nil
+}
+
+// BestStaticShape sweeps the S-U-C candidates for the given variant on one
+// representative workload and returns the winning [I, J, K] shape (grid
+// units). Multi-kernel workloads pin this shape across their kernels via
+// Options.StaticShape.
+func BestStaticShape(v Variant, w *accel.Workload, opt Options) ([]int, error) {
+	capA, capB, capO := opt.Partition.Split(opt.Machine.GlobalBuffer)
+	base := accel.EngineOptions{
+		Machine: opt.Machine,
+		CapA:    capA, CapB: capB, CapO: capO,
+		Strategy:  core.Static,
+		Extractor: extractor.IdealExtractor,
+		Intersect: opt.Intersect,
+	}
+	switch v {
+	case Original:
+		base.LoopOrder = []int{accel.DimI, accel.DimJ, accel.DimK}
+		base.Intersect = sim.SkipBased
+	case OP:
+		base.LoopOrder = []int{accel.DimJ, accel.DimK, accel.DimI}
+	default:
+		return nil, fmt.Errorf("extensor: %v is not a static variant", v)
+	}
+	_, shape, err := sweepStatic(w, base, capA, capB)
+	return shape, err
+}

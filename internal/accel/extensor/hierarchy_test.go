@@ -1,0 +1,75 @@
+package extensor
+
+import (
+	"testing"
+)
+
+func TestHierarchyPreservesTraffic(t *testing.T) {
+	// The LLB→PE level refines NoC/extraction/load-balance accounting but
+	// must leave DRAM traffic — which the outer level alone determines —
+	// exactly unchanged.
+	w := testWorkload(t, 21)
+	opt := DefaultOptions()
+	opt.Machine = smallMachine()
+	opt.SingleLevel = true
+	single := runVariant(t, OPDRT, w, opt)
+	opt.SingleLevel = false
+	hier := runVariant(t, OPDRT, w, opt)
+	if single.Traffic != hier.Traffic {
+		t.Fatalf("hierarchy changed DRAM traffic: %+v vs %+v", single.Traffic, hier.Traffic)
+	}
+	if single.MACCs != hier.MACCs {
+		t.Fatal("hierarchy changed effectual work")
+	}
+	// The inner level re-distributes tiles, so NoC bytes must be at least
+	// the DRAM input bytes.
+	if hier.NoCBytes < single.Traffic.A+single.Traffic.B {
+		t.Fatalf("hierarchical NoC bytes %d below DRAM inputs %d", hier.NoCBytes, single.Traffic.A+single.Traffic.B)
+	}
+}
+
+func TestBestStaticShape(t *testing.T) {
+	w := testWorkload(t, 23)
+	opt := DefaultOptions()
+	opt.Machine = smallMachine()
+	for _, v := range []Variant{Original, OP} {
+		shape, err := BestStaticShape(v, w, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if len(shape) != 3 || shape[0] < 1 || shape[1] < 1 || shape[2] < 1 {
+			t.Fatalf("%v: bad shape %v", v, shape)
+		}
+		// Pinning the returned shape must reproduce a run at least as
+		// good as any other candidate — spot-check it runs and matches
+		// the sweep's result.
+		swept := runVariant(t, v, w, opt)
+		pinned := opt
+		pinned.StaticShape = shape
+		r := runVariant(t, v, w, pinned)
+		if r.Cycles() > swept.Cycles()*1.0001 {
+			t.Fatalf("%v: pinned best shape %v slower than sweep: %.0f vs %.0f", v, shape, r.Cycles(), swept.Cycles())
+		}
+	}
+	if _, err := BestStaticShape(OPDRT, w, opt); err == nil {
+		t.Fatal("BestStaticShape accepted a dynamic variant")
+	}
+}
+
+func TestPELevelCapacitiesFromPEBuffer(t *testing.T) {
+	// Shrinking the PE buffer must not change traffic but should increase
+	// the refined NoC volume (more sub-tile re-distribution).
+	w := testWorkload(t, 25)
+	opt := DefaultOptions()
+	opt.Machine = smallMachine()
+	opt.Machine.PEBuffer = 16 << 10
+	big := runVariant(t, OPDRT, w, opt)
+	opt.Machine.PEBuffer = 2 << 10
+	small := runVariant(t, OPDRT, w, opt)
+	if big.Traffic != small.Traffic {
+		t.Fatal("PE buffer size changed DRAM traffic")
+	}
+	if small.NoCBytes < big.NoCBytes {
+		t.Fatalf("smaller PE buffers should not reduce NoC traffic: %d vs %d", small.NoCBytes, big.NoCBytes)
+	}
+}

@@ -1,0 +1,195 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"drt/internal/core"
+	"drt/internal/extractor"
+	"drt/internal/kernels"
+	"drt/internal/sim"
+	"drt/internal/tensor"
+	"drt/internal/tiling"
+)
+
+// GramWorkload is one higher-order instance G_il = Σ_jk χ_ijk·χ_ljk
+// (Sec. 5.1.2) prepared for simulation: the tensor micro-tiled in 3-D and
+// the exact reference Gram matrix for output accounting.
+type GramWorkload struct {
+	Name      string
+	X         *tensor.CSF3
+	MicroTile int
+	G3        *tiling.Grid3
+	GZ        *tiling.Grid
+	Z         *tensor.CSR
+	MACCs     int64
+}
+
+// NewGramWorkload pre-processes a 3-tensor for the Gram experiments.
+func NewGramWorkload(name string, x *tensor.CSF3, microTile int) (*GramWorkload, error) {
+	if microTile < 1 {
+		return nil, fmt.Errorf("accel: %s: micro tile %d", name, microTile)
+	}
+	z, st := kernels.Gram(x)
+	return &GramWorkload{
+		Name:      name,
+		X:         x,
+		MicroTile: microTile,
+		G3:        tiling.NewGrid3(x, microTile, microTile, microTile),
+		GZ:        tiling.NewGrid(z, microTile, microTile),
+		Z:         z,
+		MACCs:     st.MACCs,
+	}, nil
+}
+
+// Gram kernel dimension indices: uncontracted output dims I and L, and
+// contracted dims J and K (the tensor is contracted with itself over two
+// indices).
+const (
+	GramDimI = 0
+	GramDimL = 1
+	GramDimJ = 2
+	GramDimK = 3
+)
+
+// GramOptions configures a Gram engine run.
+type GramOptions struct {
+	Machine   sim.Machine
+	Partition sim.Partition
+	Strategy  core.Strategy // Static = S-U-C baseline, Greedy = DRT
+	Intersect sim.IntersectKind
+	Extractor extractor.Kind
+	// ConstrainOutput caps growth by the output partition (see
+	// EngineOptions.ConstrainOutput); the default multiply-and-merge
+	// configuration leaves growth unconstrained and pays spill traffic.
+	ConstrainOutput bool
+}
+
+// kernel assembles the 4-dimensional DRT kernel: both operands are views
+// of the same tensor, the first indexed (i, j, k) and the second (l, j, k),
+// so the contracted j/k growth of one co-tiles the other.
+func (w *GramWorkload) kernel(capA, capB, capO int64, constrainOutput bool) *core.Kernel {
+	k := &core.Kernel{
+		DimNames:   []string{"I", "L", "J", "K"},
+		Contracted: []bool{false, false, true, true},
+		Extent:     []int{w.G3.GI, w.G3.GI, w.G3.GJ, w.G3.GK},
+		Operands: []core.Operand{
+			{Name: "X(i,j,k)", Dims: []int{GramDimI, GramDimJ, GramDimK}, View: core.TensorView{G: w.G3}, Capacity: capA},
+			{Name: "X(l,j,k)", Dims: []int{GramDimL, GramDimJ, GramDimK}, View: core.TensorView{G: w.G3}, Capacity: capB},
+		},
+	}
+	if constrainOutput {
+		k.Operands = append(k.Operands, core.Operand{
+			Name: "G", Dims: []int{GramDimI, GramDimL},
+			View: core.MatrixView{G: w.GZ}, Capacity: capO, Output: true,
+		})
+	}
+	return k
+}
+
+// RunGram simulates the Gram kernel: DRT (or static tiling) must now grow
+// across three dimensions per operand, two of them contracted
+// (Sec. 6.1.3).
+func RunGram(w *GramWorkload, opt GramOptions) (sim.Result, error) {
+	if err := opt.Partition.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	capA, capB, capO := opt.Partition.Split(opt.Machine.GlobalBuffer)
+	k := w.kernel(capA, capB, capO, opt.ConstrainOutput)
+	cfg := &core.Config{
+		// L-stationary dataflow: contracted J, K advance inside L, the
+		// un-contracted I innermost.
+		LoopOrder: []int{GramDimJ, GramDimK, GramDimL, GramDimI},
+		Strategy:  opt.Strategy,
+	}
+	if opt.Strategy == core.Static {
+		cfg.InitialSize = gramStaticShape(w, capA)
+	}
+	e, err := core.NewEnumerator(k, cfg)
+	if err != nil {
+		return sim.Result{}, err
+	}
+
+	res := sim.Result{Name: w.Name}
+	pe := sim.NewPEArray(opt.Machine.PEs)
+	out := newOutputModel(&Workload{GZ: w.GZ}, capO)
+	mt := w.MicroTile
+	pendingLoad := [2]int64{}
+	var extractTotal float64
+	var inputTraffic int64
+
+	for {
+		t, ok, err := e.Next()
+		if err != nil {
+			return sim.Result{}, err
+		}
+		if !ok {
+			break
+		}
+		res.Tasks++
+		for oi := 0; oi < 2; oi++ {
+			if t.Rebuilt[oi] {
+				pendingLoad[oi] = t.OpFootprint[oi]
+			}
+		}
+		if t.Empty {
+			res.EmptyTasks++
+			continue
+		}
+		var taskBytes int64
+		for oi := 0; oi < 2; oi++ {
+			if pendingLoad[oi] > 0 {
+				taskBytes += pendingLoad[oi]
+				if oi == 0 {
+					res.Traffic.A += pendingLoad[oi]
+				} else {
+					res.Traffic.B += pendingLoad[oi]
+				}
+				pendingLoad[oi] = 0
+			}
+		}
+		inputTraffic += taskBytes
+
+		gr := func(d int) kernels.Range {
+			return kernels.Range{Lo: t.Ranges[d].Lo * mt, Hi: t.Ranges[d].Hi * mt}
+		}
+		tr := kernels.RestrictedGram(w.X, gr(GramDimI), gr(GramDimL), gr(GramDimJ), gr(GramDimK))
+		res.MACCs += tr.MACCs
+		res.IntersectOps += tr.ScannedA + tr.MACCs
+		var taskCompute float64
+		for _, rc := range sim.RowWorkCycles(opt.Intersect, tr.Rows) {
+			pe.Assign(rc)
+			taskCompute += rc
+		}
+		taskCompute /= float64(opt.Machine.PEs)
+
+		out.touch([4]int{t.Ranges[GramDimI].Lo, t.Ranges[GramDimI].Hi, t.Ranges[GramDimL].Lo, t.Ranges[GramDimL].Hi}, tr.OutputNNZ)
+
+		extractTotal += extractor.TaskCost(opt.Extractor, &t).Total()
+		_ = taskCompute
+	}
+	out.flush()
+	res.Traffic.Z = out.zTotal
+
+	if res.MACCs != w.MACCs {
+		return sim.Result{}, fmt.Errorf("accel: %s: gram partition covered %d MACCs, kernel has %d", w.Name, res.MACCs, w.MACCs)
+	}
+	res.DRAMCycles = opt.Machine.DRAMCycles(res.Traffic.Total())
+	res.ComputeCycles = pe.MaxBusy()
+	res.ExtractCycles = extractTotal
+	res.BufferAccessBytes = inputTraffic + res.Traffic.Z + res.MACCs*PartialBytes
+	res.NoCBytes = inputTraffic
+	return res, nil
+}
+
+// gramStaticShape picks a dense-safe cube for the S-U-C baseline: the
+// worst-case dense (l, j, k) tile must fit the partition.
+func gramStaticShape(w *GramWorkload, capOp int64) []int {
+	mt := w.MicroTile
+	denseTile := float64(mt*mt*mt) * (tensor.MetaBytes + tensor.ValueBytes)
+	side := int(math.Cbrt(float64(capOp) / denseTile))
+	if side < 1 {
+		side = 1
+	}
+	return []int{side, side, side, side}
+}

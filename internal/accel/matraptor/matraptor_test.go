@@ -1,0 +1,85 @@
+package matraptor
+
+import (
+	"testing"
+
+	"drt/internal/accel"
+	"drt/internal/gen"
+)
+
+func testWorkload(t *testing.T, seed int64) *accel.Workload {
+	t.Helper()
+	a := gen.RMAT(512, 6000, 0.57, 0.19, 0.19, seed)
+	b := gen.RMAT(512, 6000, 0.57, 0.19, 0.19, seed+1)
+	w, err := accel.NewWorkload("rmat512", a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func smallOptions() Options {
+	o := DefaultOptions()
+	o.Machine.GlobalBuffer = 64 << 10
+	return o
+}
+
+func TestUntiledBDominates(t *testing.T) {
+	// Row-wise Gustavson without tiling re-fetches B rows per referencing
+	// A element: B traffic dominates (Fig. 1's MatRaptor bar).
+	w := testWorkload(t, 1)
+	r, err := Run(Untiled, w, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Traffic.B <= r.Traffic.A {
+		t.Fatalf("untiled B traffic %d should dominate A %d", r.Traffic.B, r.Traffic.A)
+	}
+	// A read once, Z written once.
+	fa, _ := w.InputFootprint()
+	if r.Traffic.A != fa {
+		t.Fatalf("A traffic %d, want one pass %d", r.Traffic.A, fa)
+	}
+	if r.Traffic.Z != w.OutputFootprint() {
+		t.Fatalf("Z traffic %d, want one pass %d", r.Traffic.Z, w.OutputFootprint())
+	}
+}
+
+func TestTilingImprovesBReuse(t *testing.T) {
+	// Fig. 10 (bottom): tiling increases B's input reuse, reducing
+	// overall DRAM traffic; DRT beats S-U-C.
+	w := testWorkload(t, 3)
+	opt := smallOptions()
+	unt, err := Run(Untiled, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suc, err := Run(SUC, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drt, err := Run(DRT, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suc.Traffic.B >= unt.Traffic.B {
+		t.Fatalf("SUC B traffic %d not below untiled %d", suc.Traffic.B, unt.Traffic.B)
+	}
+	if drt.Traffic.Total() >= suc.Traffic.Total() {
+		t.Fatalf("DRT traffic %d not below SUC %d", drt.Traffic.Total(), suc.Traffic.Total())
+	}
+}
+
+func TestVariantsShareMACCs(t *testing.T) {
+	w := testWorkload(t, 5)
+	opt := smallOptions()
+	for _, v := range []Variant{Untiled, SUC, DRT} {
+		r, err := Run(v, w, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if r.MACCs != w.MACCs {
+			t.Fatalf("%v MACCs %d, want %d", v, r.MACCs, w.MACCs)
+		}
+	}
+}

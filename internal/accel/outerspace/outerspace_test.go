@@ -1,0 +1,97 @@
+package outerspace
+
+import (
+	"testing"
+
+	"drt/internal/accel"
+	"drt/internal/gen"
+	"drt/internal/sim"
+)
+
+func testWorkload(t *testing.T, seed int64) *accel.Workload {
+	t.Helper()
+	a := gen.RMAT(512, 6000, 0.57, 0.19, 0.19, seed)
+	b := gen.RMAT(512, 6000, 0.57, 0.19, 0.19, seed+1)
+	w, err := accel.NewWorkload("rmat512", a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func smallOptions() Options {
+	o := DefaultOptions()
+	// Large enough that tiled variants get a few passes over the inputs,
+	// small enough that tiling decisions are actually exercised — the
+	// Z-dominated regime Fig. 10 operates in.
+	o.Machine.GlobalBuffer = 256 << 10
+	return o
+}
+
+func TestUntiledZDominates(t *testing.T) {
+	// The defining property of untiled outer product (Fig. 1's first
+	// bar): output partial-product traffic dominates input traffic.
+	w := testWorkload(t, 1)
+	r, err := Run(Untiled, w, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Traffic.Z <= r.Traffic.A+r.Traffic.B {
+		t.Fatalf("untiled Z traffic %d should dominate inputs %d", r.Traffic.Z, r.Traffic.A+r.Traffic.B)
+	}
+	// Inputs are read exactly once.
+	fa, fb := w.InputFootprint()
+	if r.Traffic.A != fa || r.Traffic.B != fb {
+		t.Fatalf("untiled input traffic %d/%d, want one pass %d/%d", r.Traffic.A, r.Traffic.B, fa, fb)
+	}
+}
+
+func TestTilingImprovesTraffic(t *testing.T) {
+	// Fig. 10 (top): S-U-C and DRT tiling both beat the untiled baseline,
+	// and DRT beats S-U-C. Denser inputs put the workload in the
+	// partial-product-dominated regime where the original OuterSPACE
+	// proposal pays 2× the multiply-phase volume in Z traffic.
+	a := gen.RMAT(512, 20000, 0.57, 0.19, 0.19, 3)
+	b := gen.RMAT(512, 20000, 0.57, 0.19, 0.19, 4)
+	w, err0 := accel.NewWorkload("rmat512-dense", a, b, 8)
+	if err0 != nil {
+		t.Fatal(err0)
+	}
+	opt := smallOptions()
+	unt, err := Run(Untiled, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suc, err := Run(SUC, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drt, err := Run(DRT, w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suc.Traffic.Total() >= unt.Traffic.Total() {
+		t.Fatalf("SUC traffic %d not below untiled %d", suc.Traffic.Total(), unt.Traffic.Total())
+	}
+	if drt.Traffic.Total() >= suc.Traffic.Total() {
+		t.Fatalf("DRT traffic %d not below SUC %d", drt.Traffic.Total(), suc.Traffic.Total())
+	}
+	if drt.MACCs != w.MACCs || suc.MACCs != w.MACCs {
+		t.Fatal("tiled variants must cover the kernel exactly")
+	}
+}
+
+func TestIdealizedRuntimeIsDRAMBound(t *testing.T) {
+	w := testWorkload(t, 5)
+	r, err := Run(DRT, w, smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DRAMBoundCycles() > r.Cycles() {
+		t.Fatal("DRAM-bound cycles cannot exceed total cycles")
+	}
+	if r.ExtractCycles != 0 {
+		t.Fatal("idealized on-chip model must not charge extraction")
+	}
+	_ = sim.Result{}
+}

@@ -1,0 +1,124 @@
+// Package accel holds the pieces shared by all modeled accelerators: the
+// Workload bundle (operands, micro-tile grids, the exact reference product
+// used both for output validation and for output-traffic accounting) and
+// the generic task-stream traffic/compute engine that each accelerator
+// configures with its own dataflow.
+package accel
+
+import (
+	"fmt"
+
+	"drt/internal/core"
+	"drt/internal/kernels"
+	"drt/internal/tensor"
+	"drt/internal/tiling"
+)
+
+// Workload is one SpMSpM instance Z = A·B prepared for simulation: the
+// operands pre-processed into micro tiles (Sec. 5.2.4) and the exact
+// reference result, computed once with the Gustavson reference kernel and
+// shared by every accelerator variant (the paper validates simulator
+// output sparsity against MKL; we validate against this reference).
+type Workload struct {
+	Name      string
+	A, B      *tensor.CSR
+	MicroTile int
+
+	GA *tiling.Grid // A as I×K (rows I)
+	GB *tiling.Grid // B as K×J (rows K)
+	GZ *tiling.Grid // reference Z as I×J
+
+	Z     *tensor.CSR
+	MACCs int64
+}
+
+// NewWorkload pre-processes one SpMSpM instance with the given micro tile
+// edge in the default T-UC micro tile representation.
+func NewWorkload(name string, a, b *tensor.CSR, microTile int) (*Workload, error) {
+	return NewWorkloadWithFormat(name, a, b, microTile, tiling.TUC)
+}
+
+// NewWorkloadWithFormat is NewWorkload with an explicit micro-tile
+// representation (Sec. 6.3 expects T-CC to resolve the metadata-overhead
+// outliers of the software study).
+func NewWorkloadWithFormat(name string, a, b *tensor.CSR, microTile int, f tiling.Format) (*Workload, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("accel: %s: A is %dx%d but B is %dx%d", name, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if microTile < 1 {
+		return nil, fmt.Errorf("accel: %s: micro tile %d", name, microTile)
+	}
+	z, st := kernels.Gustavson(a, b)
+	return &Workload{
+		Name:      name,
+		A:         a,
+		B:         b,
+		MicroTile: microTile,
+		GA:        tiling.NewGridWithFormat(a, microTile, microTile, f),
+		GB:        tiling.NewGridWithFormat(b, microTile, microTile, f),
+		GZ:        tiling.NewGridWithFormat(z, microTile, microTile, f),
+		Z:         z,
+		MACCs:     st.MACCs,
+	}, nil
+}
+
+// Kernel assembles the I,J,K DRT kernel description for this workload with
+// the given input-operand partition capacities.
+func (w *Workload) Kernel(capA, capB int64) *core.Kernel {
+	return &core.Kernel{
+		DimNames:   []string{"I", "J", "K"},
+		Contracted: []bool{false, false, true},
+		Extent:     []int{w.GA.GR, w.GB.GC, w.GA.GC},
+		Operands: []core.Operand{
+			{Name: "A", Dims: []int{dimI, dimK}, View: core.MatrixView{G: w.GA}, Capacity: capA},
+			{Name: "B", Dims: []int{dimK, dimJ}, View: core.MatrixView{G: w.GB}, Capacity: capB},
+		},
+	}
+}
+
+// KernelWithOutput additionally registers the output tensor Z(I,J) so its
+// tile footprint constrains growth against the output partition, as
+// Algorithm 1's buffer-capacity check requires. Its view is the reference
+// product's grid — an oracle occupancy estimate standing in for the
+// hardware's provisioning heuristics (the paper notes output footprint "is
+// difficult to predict/provision" before intersections run; see
+// DESIGN.md §3).
+func (w *Workload) KernelWithOutput(capA, capB, capO int64) *core.Kernel {
+	k := w.Kernel(capA, capB)
+	k.Operands = append(k.Operands, core.Operand{
+		Name: "Z", Dims: []int{dimI, dimJ},
+		View: core.MatrixView{G: w.GZ}, Capacity: capO, Output: true,
+	})
+	return k
+}
+
+// Dimension indices of the SpMSpM kernel space.
+const (
+	dimI = 0
+	dimJ = 1
+	dimK = 2
+)
+
+// DimI, DimJ and DimK export the kernel dimension indices for loop-order
+// construction by accelerator packages.
+const (
+	DimI = dimI
+	DimJ = dimJ
+	DimK = dimK
+)
+
+// OpA and OpB are the operand indices in the kernel built by Kernel.
+const (
+	OpA = 0
+	OpB = 1
+)
+
+// InputFootprint returns the one-pass byte footprints of the operands in
+// their micro-tiled representations — the traffic lower bound components of
+// Fig. 1 (read each input once).
+func (w *Workload) InputFootprint() (a, b int64) {
+	return w.GA.TotalFootprint(), w.GB.TotalFootprint()
+}
+
+// OutputFootprint returns the one-pass write footprint of the result.
+func (w *Workload) OutputFootprint() int64 { return w.GZ.TotalFootprint() }

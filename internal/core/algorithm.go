@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// builder holds per-BuildTask scratch state.
+type builder struct {
+	k      *Kernel
+	cfg    *Config
+	window []Range
+
+	base  []int
+	sizes []int
+	// frozen[d] is true when dimension d is mid-flight in an outer loop
+	// level: its base and size must not change during this build.
+	frozen []bool
+	// constrained[d] is Algorithm 1's constraints array: once set, growth
+	// along d stops, and later tensors co-tile to the current size.
+	constrained []bool
+	// cap[d] limits sizes[d] during fallback retries (Alg. 1 line 13).
+	cap []int
+
+	rebuilt []bool // per operand
+	probes  int
+	scans   int64
+	overflw bool
+
+	// order caches the stationarity ordering of the operands.
+	order []int
+	// scratch holds per-operand reusable range buffers for opRanges.
+	scratch map[*Operand][]Range
+}
+
+// maxFallbackRetries bounds the fallback subdivision loop; each retry
+// halves one dimension, so log2(extent) retries suffice per dimension.
+const maxFallbackRetries = 64
+
+// stationarityOrder returns operand indices sorted most-stationary first:
+// ascending by the deepest loop position among each operand's dimensions
+// ("a tensor is less stationary than another if it is indexed by a
+// faster-changing index", Sec. 2.1).
+func stationarityOrder(k *Kernel, loopOrder []int) []int {
+	pos := make([]int, k.NDims())
+	for p, d := range loopOrder {
+		pos[d] = p
+	}
+	depth := func(op *Operand) int {
+		dm := 0
+		for _, d := range op.Dims {
+			if pos[d] > dm {
+				dm = pos[d]
+			}
+		}
+		return dm
+	}
+	idx := make([]int, len(k.Operands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return depth(&k.Operands[idx[a]]) < depth(&k.Operands[idx[b]])
+	})
+	return idx
+}
+
+// opRanges materializes the operand's region for the current base/sizes,
+// clamped to the window. The returned slice is per-operand scratch reused
+// across calls — callers must not retain it past the next query.
+func (b *builder) opRanges(op *Operand) []Range {
+	rs := b.scratch[op]
+	if rs == nil {
+		rs = make([]Range, len(op.Dims))
+		b.scratch[op] = rs
+	}
+	for i, d := range op.Dims {
+		hi := b.base[d] + b.sizes[d]
+		if hi > b.window[d].Hi {
+			hi = b.window[d].Hi
+		}
+		rs[i] = Range{b.base[d], hi}
+	}
+	return rs
+}
+
+// maxSize returns the largest admissible size for dimension d under the
+// window edge and any fallback cap.
+func (b *builder) maxSize(d int) int {
+	m := b.window[d].Hi - b.base[d]
+	if b.cap[d] < m {
+		m = b.cap[d]
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// tryToGrow attempts one growth step of dimension d for op (Alg. 2 line
+// 13). It returns false — and marks d constrained — when the step would
+// exceed the operand's partition or the dimension cannot grow further.
+func (b *builder) tryToGrow(op *Operand, d, step int) bool {
+	limit := b.maxSize(d)
+	if b.sizes[d] >= limit {
+		b.constrained[d] = true
+		return false
+	}
+	next := b.sizes[d] + step
+	if next > limit {
+		next = limit
+	}
+	before := op.View.Tiles(b.opRanges(op))
+	old := b.sizes[d]
+	b.sizes[d] = next
+	rs := b.opRanges(op)
+	b.probes++
+	b.scans += op.View.Tiles(rs) - before // newly scanned micro-tile metadata
+	if op.View.Footprint(rs) > op.Capacity {
+		b.sizes[d] = old // reverse the operation (buffer overflow)
+		b.constrained[d] = true
+		return false
+	}
+	return true
+}
+
+// growable reports whether dimension d may still grow for this build.
+func (b *builder) growable(d int) bool {
+	return !b.frozen[d] && !b.constrained[d]
+}
+
+// growMax expands dimension d to the largest admissible size whose
+// footprint fits op's partition — the same stopping point as exhaustive
+// n=1 growth (footprint is monotone in tile size) found by binary search.
+// The dimension is constrained afterwards, as a completed growth pass is.
+func (b *builder) growMax(op *Operand, d int) {
+	limit := b.maxSize(d)
+	defer func() { b.constrained[d] = true }()
+	if b.sizes[d] >= limit {
+		return
+	}
+	startTiles := op.View.Tiles(b.opRanges(op))
+	fits := func(sz int) bool {
+		old := b.sizes[d]
+		b.sizes[d] = sz
+		fp := op.View.Footprint(b.opRanges(op))
+		b.sizes[d] = old
+		b.probes++
+		return fp <= op.Capacity
+	}
+	lo, hi := b.sizes[d], limit
+	switch {
+	case fits(hi):
+		b.sizes[d] = hi
+	case !fits(lo):
+		// The tile does not fit even at the current size (overflow tile);
+		// keep it, matching tryToGrow's refusal to grow further.
+	default:
+		for lo+1 < hi {
+			mid := lo + (hi-lo)/2
+			if fits(mid) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		b.sizes[d] = lo
+	}
+	// The Aggregate unit still scans every stored micro tile the final
+	// macro tile covers, regardless of how the shape search probed.
+	b.scans += op.View.Tiles(b.opRanges(op)) - startTiles
+}
+
+// growDims is Algorithm 2: expand op's dimensions per the configured
+// strategy until all are constrained.
+func (b *builder) growDims(op *Operand) {
+	step := b.cfg.GrowStep
+	if step < 1 {
+		step = 1
+	}
+	switch b.cfg.Strategy {
+	case Static:
+		// No growth: S-U-C baseline.
+	case GreedyContractedFirst:
+		// Contracted dimensions first, each exhausted in a single pass,
+		// then uncontracted (Sec. 3.2 default). Exhausting a dimension
+		// with unit steps stops at the largest size whose footprint fits;
+		// growMax binary-searches for that same size directly (footprint
+		// is monotone in tile size), so the outcome is identical to the
+		// paper's n=1 loop at a fraction of the probe count.
+		for _, wantContracted := range []bool{true, false} {
+			for _, d := range op.Dims {
+				if b.k.Contracted[d] != wantContracted {
+					continue
+				}
+				if b.growable(d) {
+					b.growMax(op, d)
+				}
+			}
+		}
+	case Alternating:
+		// Round-robin one step per dimension to keep tiles square-ish.
+		for {
+			grew := false
+			for _, d := range op.Dims {
+				if b.growable(d) && b.tryToGrow(op, d, step) {
+					grew = true
+				}
+			}
+			if !grew {
+				break
+			}
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown strategy %v", b.cfg.Strategy))
+	}
+}
+
+// loadTile is Algorithm 1's loadNextTile: verify op's tile fits its
+// partition at the current sizes, shrinking growable dimensions and, if
+// that does not suffice, requesting a fallback subdivision of an
+// already-constrained dimension (returned as retryDim >= 0).
+func (b *builder) loadTile(op *Operand) (retryDim int) {
+	if op.View.Footprint(b.opRanges(op)) <= op.Capacity {
+		return -1
+	}
+	// Shrink this operand's still-growable dimensions to 1.
+	for _, d := range op.Dims {
+		if b.growable(d) {
+			b.sizes[d] = 1
+		}
+	}
+	if op.View.Footprint(b.opRanges(op)) <= op.Capacity {
+		return -1
+	}
+	// Fallback path (Alg. 1 line 13): subdivide the largest dimension of
+	// this tensor that an earlier tensor constrained in this build. Frozen
+	// dimensions belong to outer, mid-flight loops and must not change.
+	best, bestSize := -1, 1
+	for _, d := range op.Dims {
+		if b.constrained[d] && !b.frozen[d] && b.sizes[d] > bestSize {
+			best, bestSize = d, b.sizes[d]
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Even a single micro-tile slab exceeds the partition: the tile will
+	// be streamed (counted, not dropped).
+	b.overflw = true
+	return -1
+}
+
+// BuildTask runs Algorithm 1 for one Einsum task. base gives each
+// dimension's origin (grid coordinates), sizes the incoming per-dimension
+// tile sizes, frozen the dimensions pinned by outer loop levels, and
+// rebuild the operands whose tiles are to be (re)built. sizes is updated in
+// place with the chosen tile shape.
+func BuildTask(k *Kernel, cfg *Config, base, sizes []int, frozen []bool, rebuild []bool) (Task, error) {
+	if err := k.Validate(); err != nil {
+		return Task{}, err
+	}
+	b := newBuilder(k, cfg)
+	return b.build(base, sizes, frozen, rebuild)
+}
+
+// newBuilder allocates the reusable Algorithm-1 state for a kernel/config
+// pair; the Enumerator keeps one across its whole traversal so per-task
+// scratch is amortized.
+func newBuilder(k *Kernel, cfg *Config) *builder {
+	n := k.NDims()
+	window := cfg.Window
+	if window == nil {
+		window = make([]Range, n)
+		for d := range window {
+			window[d] = Range{0, k.Extent[d]}
+		}
+	}
+	b := &builder{
+		k: k, cfg: cfg, window: window,
+		constrained: make([]bool, n),
+		cap:         make([]int, n),
+		order:       stationarityOrder(k, cfg.LoopOrder),
+		scratch:     make(map[*Operand][]Range, len(k.Operands)),
+	}
+	return b
+}
+
+// build runs Algorithm 1 once; see BuildTask for the contract.
+func (b *builder) build(base, sizes []int, frozen []bool, rebuild []bool) (Task, error) {
+	n := b.k.NDims()
+	cfg := b.cfg
+	window := b.window
+	b.base, b.sizes, b.frozen, b.rebuilt = base, sizes, frozen, rebuild
+	order := b.order
+
+	for retry := 0; ; retry++ {
+		if retry > maxFallbackRetries {
+			return Task{}, fmt.Errorf("core: fallback did not converge after %d retries", retry)
+		}
+		// (Re)initialize sizes of free dimensions (Alg. 1 line 5).
+		for d := 0; d < n; d++ {
+			b.constrained[d] = b.frozen[d]
+			if b.frozen[d] {
+				continue
+			}
+			init := 1
+			if cfg.InitialSize != nil && cfg.InitialSize[d] > 0 {
+				init = cfg.InitialSize[d]
+			}
+			if retry == 0 {
+				b.cap[d] = window[d].Hi - window[d].Lo
+				if b.cap[d] < 1 {
+					b.cap[d] = 1
+				}
+			}
+			if m := b.maxSize(d); init > m {
+				init = m
+			}
+			b.sizes[d] = init
+		}
+		b.probes, b.scans, b.overflw = 0, 0, false
+
+		retryDim := -1
+		for _, oi := range order {
+			if !rebuild[oi] {
+				continue
+			}
+			op := &b.k.Operands[oi]
+			if rd := b.loadTile(op); rd >= 0 {
+				retryDim = rd
+				break
+			}
+			b.growDims(op)
+			// Growing a dimension becomes a constraint on later tensors
+			// (co-tiling, Alg. 1 line 7 comment).
+			for _, d := range op.Dims {
+				b.constrained[d] = true
+			}
+		}
+		if retryDim < 0 {
+			break
+		}
+		b.cap[retryDim] = b.sizes[retryDim] / 2
+		if b.cap[retryDim] < 1 {
+			b.cap[retryDim] = 1
+		}
+	}
+	return b.emit(), nil
+}
+
+// emit materializes the Task for the final sizes.
+func (b *builder) emit() Task {
+	n := b.k.NDims()
+	t := Task{
+		Ranges:      make([]Range, n),
+		OpFootprint: make([]int64, len(b.k.Operands)),
+		OpNNZ:       make([]int64, len(b.k.Operands)),
+		OpTiles:     make([]int64, len(b.k.Operands)),
+		Rebuilt:     append([]bool(nil), b.rebuilt...),
+		Overflow:    b.overflw,
+		Probes:      b.probes,
+		ScanTiles:   b.scans,
+	}
+	for d := 0; d < n; d++ {
+		hi := b.base[d] + b.sizes[d]
+		if hi > b.window[d].Hi {
+			hi = b.window[d].Hi
+		}
+		t.Ranges[d] = Range{b.base[d], hi}
+	}
+	for oi := range b.k.Operands {
+		op := &b.k.Operands[oi]
+		rs := make([]Range, len(op.Dims))
+		for i, d := range op.Dims {
+			rs[i] = t.Ranges[d]
+		}
+		t.OpFootprint[oi] = op.View.Footprint(rs)
+		t.OpNNZ[oi] = op.View.NNZ(rs)
+		t.OpTiles[oi] = op.View.Tiles(rs)
+		if t.OpNNZ[oi] == 0 && !op.Output {
+			t.Empty = true
+		}
+	}
+	return t
+}

@@ -1,0 +1,273 @@
+package core
+
+import "fmt"
+
+// Enumerator walks the kernel's iteration space in loop order, calling
+// Algorithm 1 to shape each task's tiles. Outer (more stationary) tensors
+// keep their tiles resident across inner-loop advancement; when a loop
+// level advances, exactly the tensors whose stationarity depth reaches that
+// level are rebuilt — the behavior traced in Fig. 3.
+type Enumerator struct {
+	k   *Kernel
+	cfg *Config
+
+	window  []Range
+	pos     []int // loop position of each dimension
+	station []int // per operand: deepest loop position among its dims
+
+	base    []int
+	sizes   []int
+	started bool
+	done    bool
+
+	b       *builder
+	frozen  []bool
+	rebuild []bool
+}
+
+// NewEnumerator validates the kernel/config pair and prepares a traversal.
+func NewEnumerator(k *Kernel, cfg *Config) (*Enumerator, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	n := k.NDims()
+	if len(cfg.LoopOrder) != n {
+		return nil, fmt.Errorf("core: loop order has %d dims, kernel has %d", len(cfg.LoopOrder), n)
+	}
+	seen := make([]bool, n)
+	for _, d := range cfg.LoopOrder {
+		if d < 0 || d >= n || seen[d] {
+			return nil, fmt.Errorf("core: loop order %v is not a permutation of the %d dims", cfg.LoopOrder, n)
+		}
+		seen[d] = true
+	}
+	e := &Enumerator{
+		k: k, cfg: cfg,
+		pos:   make([]int, n),
+		base:  make([]int, n),
+		sizes: make([]int, n),
+	}
+	e.window = cfg.Window
+	if e.window == nil {
+		e.window = make([]Range, n)
+		for d := range e.window {
+			e.window[d] = Range{0, k.Extent[d]}
+		}
+	}
+	for p, d := range cfg.LoopOrder {
+		e.pos[d] = p
+	}
+	e.station = make([]int, len(k.Operands))
+	for oi := range k.Operands {
+		dm := 0
+		for _, d := range k.Operands[oi].Dims {
+			if e.pos[d] > dm {
+				dm = e.pos[d]
+			}
+		}
+		e.station[oi] = dm
+	}
+	for d := range e.base {
+		e.base[d] = e.window[d].Lo
+		if e.window[d].Len() <= 0 {
+			e.done = true // empty iteration space
+		}
+	}
+	bcfg := *cfg
+	bcfg.Window = e.window
+	e.b = newBuilder(k, &bcfg)
+	e.frozen = make([]bool, n)
+	e.rebuild = make([]bool, len(k.Operands))
+	return e, nil
+}
+
+// Next returns the next Einsum task, or ok=false when the space is
+// exhausted.
+func (e *Enumerator) Next() (Task, bool, error) {
+	if e.done {
+		return Task{}, false, nil
+	}
+	level := 0
+	if !e.started {
+		e.started = true
+	} else {
+		// Advance the odometer innermost-first; each dimension steps by
+		// the size its last task used, so nonuniform tiles ragged-tile the
+		// space exactly.
+		p := len(e.cfg.LoopOrder) - 1
+		for {
+			d := e.cfg.LoopOrder[p]
+			e.base[d] += e.sizes[d]
+			if e.base[d] < e.window[d].Hi {
+				break
+			}
+			e.base[d] = e.window[d].Lo
+			p--
+			if p < 0 {
+				e.done = true
+				return Task{}, false, nil
+			}
+		}
+		level = p
+	}
+
+	n := e.k.NDims()
+	for d := 0; d < n; d++ {
+		e.frozen[d] = e.pos[d] < level
+	}
+	for oi := range e.rebuild {
+		e.rebuild[oi] = e.station[oi] >= level
+	}
+	t, err := e.b.build(e.base, e.sizes, e.frozen, e.rebuild)
+	if err != nil {
+		e.done = true
+		return Task{}, false, err
+	}
+	if t.Empty {
+		e.coalesceEmpty(&t)
+	}
+	return t, true, nil
+}
+
+// coalesceEmpty widens an empty task along the innermost loop dimension
+// over every consecutive position that would also produce an empty task.
+// A position is provably empty when some operand's region holds no
+// non-zeros — every effectual MACC needs all operands — so the widened
+// span contributes exactly zero work and coverage is preserved. This
+// mirrors the hardware, where unstored tiles in the compressed outer
+// level never generate tasks, and keeps hyper-sparse iteration spaces
+// from emitting millions of single-cell empty tasks.
+func (e *Enumerator) coalesceEmpty(t *Task) {
+	d := e.cfg.LoopOrder[len(e.cfg.LoopOrder)-1]
+	hiEnd := e.window[d].Hi
+	step := e.sizes[d]
+	if step < 1 {
+		step = 1
+	}
+	// An empty input operand that is not indexed by d stays empty for the
+	// whole remaining d range: swallow it all. (Output operands never
+	// decide emptiness.)
+	for oi := range e.k.Operands {
+		if e.k.Operands[oi].Output || t.OpNNZ[oi] != 0 || opContains(&e.k.Operands[oi], d) {
+			continue
+		}
+		e.sizes[d] = hiEnd - e.base[d]
+		t.Ranges[d].Hi = hiEnd
+		return
+	}
+	// Otherwise, gallop each d-indexed operand's zero-occupancy run and
+	// extend by the longest, aligned down to the task's step so later
+	// (static) tiles keep their grid alignment.
+	pos := e.base[d] + e.sizes[d]
+	for pos < hiEnd {
+		ext := pos
+		for oi := range e.k.Operands {
+			op := &e.k.Operands[oi]
+			if op.Output || !opContains(op, d) {
+				continue
+			}
+			probeHi := pos + step
+			if probeHi > hiEnd {
+				probeHi = hiEnd
+			}
+			if e.opNNZAt(op, t.Ranges, d, pos, probeHi) != 0 {
+				continue
+			}
+			run := e.emptyRunEnd(op, t.Ranges, d, pos, hiEnd)
+			// Align down to step boundaries (relative to pos).
+			if run < hiEnd {
+				run = pos + (run-pos)/step*step
+			}
+			if run > ext {
+				ext = run
+			}
+		}
+		if ext == pos {
+			break
+		}
+		pos = ext
+	}
+	e.sizes[d] = pos - e.base[d]
+	t.Ranges[d].Hi = pos
+}
+
+// opContains reports whether the operand is indexed by kernel dim d.
+func opContains(op *Operand, d int) bool {
+	for _, od := range op.Dims {
+		if od == d {
+			return true
+		}
+	}
+	return false
+}
+
+// opNNZAt queries the operand's occupancy with dimension d's range
+// overridden to [lo, hi). It reuses the builder's per-operand scratch.
+func (e *Enumerator) opNNZAt(op *Operand, ranges []Range, d, lo, hi int) int64 {
+	rs := e.b.scratch[op]
+	if rs == nil || len(rs) != len(op.Dims) {
+		rs = make([]Range, len(op.Dims))
+		e.b.scratch[op] = rs
+	}
+	for i, od := range op.Dims {
+		if od == d {
+			rs[i] = Range{lo, hi}
+		} else {
+			rs[i] = ranges[od]
+		}
+	}
+	return op.View.NNZ(rs)
+}
+
+// emptyRunEnd returns the largest position end ≤ hiEnd such that the
+// operand holds no non-zeros over d ∈ [from, end), found by exponential
+// growth plus binary search on the O(1) occupancy query.
+func (e *Enumerator) emptyRunEnd(op *Operand, ranges []Range, d, from, hiEnd int) int {
+	// Exponential phase.
+	span := 1
+	end := from + 1
+	for end < hiEnd {
+		next := from + span*2
+		if next > hiEnd {
+			next = hiEnd
+		}
+		if e.opNNZAt(op, ranges, d, from, next) != 0 {
+			break
+		}
+		end = next
+		span *= 2
+		if end == hiEnd {
+			return end
+		}
+	}
+	// Binary phase between the known-empty end and the failed probe.
+	lo, hi := end, from+span*2
+	if hi > hiEnd {
+		hi = hiEnd
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if e.opNNZAt(op, ranges, d, from, mid) == 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Tasks drains the enumerator into a slice; convenient for tests and for
+// the traffic-only accelerator models.
+func (e *Enumerator) Tasks() ([]Task, error) {
+	var out []Task
+	for {
+		t, ok, err := e.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+)
+
+// uniformView is a synthetic operand view with a constant footprint per
+// grid cell — handy for exercising the growth machinery with exactly
+// predictable arithmetic.
+type uniformView struct {
+	cellFP int64
+}
+
+func cells(rs []Range) int64 {
+	n := int64(1)
+	for _, r := range rs {
+		l := int64(r.Len())
+		if l < 0 {
+			l = 0
+		}
+		n *= l
+	}
+	return n
+}
+
+func (v uniformView) Footprint(rs []Range) int64 { return cells(rs) * v.cellFP }
+func (v uniformView) NNZ(rs []Range) int64       { return cells(rs) }
+func (v uniformView) Tiles(rs []Range) int64     { return cells(rs) }
+
+func TestGrowMaxStopsAtExactCapacity(t *testing.T) {
+	// One operand over a single 100-cell dimension at 10 bytes per cell
+	// with a 375-byte budget: exhaustive n=1 growth stops at 37 cells,
+	// and the binary-search growMax must land on exactly the same size.
+	k := &Kernel{
+		DimNames:   []string{"I", "K"},
+		Contracted: []bool{false, true},
+		Extent:     []int{1, 100},
+		Operands: []Operand{
+			{Name: "A", Dims: []int{0, 1}, View: uniformView{cellFP: 10}, Capacity: 375},
+		},
+	}
+	e, err := NewEnumerator(k, &Config{LoopOrder: []int{0, 1}, Strategy: GreedyContractedFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, ok, err := e.Next()
+	if err != nil || !ok {
+		t.Fatalf("no first task: %v", err)
+	}
+	if task.Ranges[1].Len() != 37 {
+		t.Fatalf("grown K size = %d, want 37 (375/10)", task.Ranges[1].Len())
+	}
+	// Coverage: 100/37 → ceil = 3 tasks.
+	tasks, err := e.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := task.Ranges[1].Len()
+	for _, tt := range tasks {
+		total += tt.Ranges[1].Len()
+	}
+	if total != 100 {
+		t.Fatalf("tasks cover %d of 100 cells", total)
+	}
+}
+
+func TestFallbackSubdividesConstrainedDim(t *testing.T) {
+	// B (K,J) is roomy and grows K to the full extent; A (I,K) is dense
+	// at 10 bytes/cell with capacity 50, so at I=1 its slab over B's K
+	// range costs 10·K — the fallback must shrink the already-constrained
+	// K until A fits (K ≤ 5).
+	k := &Kernel{
+		DimNames:   []string{"I", "J", "K"},
+		Contracted: []bool{false, false, true},
+		Extent:     []int{4, 4, 100},
+		Operands: []Operand{
+			{Name: "A", Dims: []int{0, 2}, View: uniformView{cellFP: 10}, Capacity: 50},
+			{Name: "B", Dims: []int{2, 1}, View: uniformView{cellFP: 1}, Capacity: 1 << 20},
+		},
+	}
+	// J→K→I: B is stationary and grows first.
+	e, err := NewEnumerator(k, &Config{LoopOrder: []int{1, 2, 0}, Strategy: GreedyContractedFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, ok, err := e.Next()
+	if err != nil || !ok {
+		t.Fatalf("no first task: %v", err)
+	}
+	if task.Overflow {
+		t.Fatal("fallback should have resolved without overflow")
+	}
+	if kLen := task.Ranges[2].Len(); kLen > 5 || kLen < 1 {
+		t.Fatalf("K size after fallback = %d, want 1..5", kLen)
+	}
+	if task.OpFootprint[0] > 50 {
+		t.Fatalf("A tile %d bytes exceeds its 50-byte partition", task.OpFootprint[0])
+	}
+	// The whole space must still be covered exactly.
+	total := int64(task.Ranges[0].Len()) * int64(task.Ranges[1].Len()) * int64(task.Ranges[2].Len())
+	for {
+		tt, ok, err := e.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		total += int64(tt.Ranges[0].Len()) * int64(tt.Ranges[1].Len()) * int64(tt.Ranges[2].Len())
+	}
+	if total != 4*4*100 {
+		t.Fatalf("tasks cover %d of %d cells", total, 4*4*100)
+	}
+}
+
+func TestOverflowSingleCell(t *testing.T) {
+	// A single grid cell larger than the partition cannot be subdivided
+	// further: the task must carry the Overflow flag rather than fail.
+	k := &Kernel{
+		DimNames:   []string{"I", "K"},
+		Contracted: []bool{false, true},
+		Extent:     []int{2, 2},
+		Operands: []Operand{
+			{Name: "A", Dims: []int{0, 1}, View: uniformView{cellFP: 1000}, Capacity: 10},
+		},
+	}
+	e, err := NewEnumerator(k, &Config{LoopOrder: []int{0, 1}, Strategy: GreedyContractedFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := e.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 4 {
+		t.Fatalf("got %d tasks, want 4 single-cell tasks", len(tasks))
+	}
+	for _, tt := range tasks {
+		if !tt.Overflow {
+			t.Fatalf("task %+v should be flagged overflow", tt.Ranges)
+		}
+	}
+}
+
+func TestGrowStepLargerThanOne(t *testing.T) {
+	// A grow step of 8 must still respect capacity (clamping the final
+	// probe) and coverage.
+	k := &Kernel{
+		DimNames:   []string{"I", "K"},
+		Contracted: []bool{false, true},
+		Extent:     []int{1, 64},
+		Operands: []Operand{
+			{Name: "A", Dims: []int{0, 1}, View: uniformView{cellFP: 10}, Capacity: 300},
+		},
+	}
+	e, err := NewEnumerator(k, &Config{LoopOrder: []int{0, 1}, Strategy: Alternating, GrowStep: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		tt, ok, err := e.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if tt.OpFootprint[0] > 300 {
+			t.Fatalf("tile %d bytes over capacity", tt.OpFootprint[0])
+		}
+		total += tt.Ranges[1].Len()
+	}
+	if total != 64 {
+		t.Fatalf("covered %d of 64", total)
+	}
+}
+
+func TestStationarityTieBreaksStable(t *testing.T) {
+	// Equal stationarity depths keep declaration order, so growth
+	// priority is deterministic.
+	k := &Kernel{
+		DimNames:   []string{"I", "K"},
+		Contracted: []bool{false, true},
+		Extent:     []int{8, 8},
+		Operands: []Operand{
+			{Name: "first", Dims: []int{0, 1}, View: uniformView{cellFP: 1}, Capacity: 16},
+			{Name: "second", Dims: []int{0, 1}, View: uniformView{cellFP: 1}, Capacity: 16},
+		},
+	}
+	order := stationarityOrder(k, []int{0, 1})
+	if k.Operands[order[0]].Name != "first" {
+		t.Fatalf("tie-break order = %v", order)
+	}
+}

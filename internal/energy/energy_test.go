@@ -1,0 +1,57 @@
+package energy
+
+import (
+	"testing"
+
+	"drt/internal/metrics"
+	"drt/internal/sim"
+)
+
+func TestAreaDominatedByGlobalBuffer(t *testing.T) {
+	m := sim.DefaultMachine()
+	ab := AreaBreakdown(m)
+	total := TotalArea(m)
+	gbFrac := ab[GlobalBuffer] / total
+	if gbFrac < 0.99 {
+		t.Fatalf("global buffer fraction %.4f, want ≥0.99 (paper: 99.75%%)", gbFrac)
+	}
+	// Tile extractors take roughly 45% of the non-buffer remainder.
+	rem := total - ab[GlobalBuffer]
+	exFrac := ab[TileExtractors] / rem
+	if exFrac < 0.3 || exFrac > 0.6 {
+		t.Fatalf("extractor share of remainder %.2f, want ~0.45", exFrac)
+	}
+	// Overall extractor overhead ≈ 0.1% of die area.
+	if o := ExtractorOverhead(m); o > 0.002 {
+		t.Fatalf("extractor area overhead %.4f, want ≤0.2%%", o)
+	}
+}
+
+func TestEnergyTracksTraffic(t *testing.T) {
+	mk := func(traffic int64) sim.Result {
+		return sim.Result{
+			Traffic:           metrics.Traffic{A: traffic / 2, B: traffic / 4, Z: traffic / 4},
+			MACCs:             1000,
+			IntersectOps:      3000,
+			BufferAccessBytes: traffic,
+			NoCBytes:          traffic / 2,
+		}
+	}
+	low := Estimate(mk(1 << 20))
+	high := Estimate(mk(8 << 20))
+	if high.Total() <= low.Total() {
+		t.Fatalf("more traffic must cost more energy: %g vs %g", high.Total(), low.Total())
+	}
+	// DRAM dominates at equal compute.
+	if high.DRAM < high.Buffer || high.DRAM < high.Compute {
+		t.Fatalf("DRAM should dominate: %+v", high)
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	for c := GlobalBuffer; c < numComponents; c++ {
+		if c.String() == "Unknown" {
+			t.Fatalf("component %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"drt/internal/accel"
+	"drt/internal/accel/extensor"
+	"drt/internal/metrics"
+	"drt/internal/sim"
+	"drt/internal/swdrt"
+	"drt/internal/tiling"
+)
+
+// The ablation experiments implement the paper's stated future-work items
+// and quantify the design choices DESIGN.md calls out:
+//
+//   - ablTCC: T-CC (doubly compressed) micro tiles versus the default
+//     T-UC, the fix Sec. 6.3 proposes for the software study's
+//     metadata-overhead outliers.
+//   - ablAutoTile: choosing the micro tile shape at runtime from the
+//     input's sparsity (Fig. 17's "future work will consider deciding the
+//     micro tile shape at runtime").
+//   - ablDynPart: per-workload buffer partitioning versus the one fixed
+//     split used for all workloads (Sec. 6.6 "We consider dynamic
+//     allocations for future work").
+
+// AblTCC compares micro-tile representations: footprint and software-DRT
+// traffic improvement under T-UC vs T-CC.
+func (c *Context) AblTCC() (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: T-CC vs T-UC micro tiles (software study)",
+		"matrix", "fp-TUC-MB", "fp-TCC-MB", "DNCx-TUC", "DNCx-TCC", "TCC gain")
+	opt := swdrt.DefaultOptions()
+	opt.LLCBytes = c.CPU().LLCBytes
+	var gains []float64
+	for _, e := range c.fig6Entries() {
+		a := e.Generate(c.Opt.Scale)
+		wTUC, err := accel.NewWorkloadWithFormat(e.Name, a, a, c.Opt.MicroTile, tiling.TUC)
+		if err != nil {
+			return nil, err
+		}
+		wTCC, err := accel.NewWorkloadWithFormat(e.Name, a, a, c.Opt.MicroTile, tiling.TCC)
+		if err != nil {
+			return nil, err
+		}
+		sTUC, err := swdrt.Run(wTUC, opt)
+		if err != nil {
+			return nil, err
+		}
+		sTCC, err := swdrt.Run(wTCC, opt)
+		if err != nil {
+			return nil, err
+		}
+		fa, fb := wTUC.InputFootprint()
+		fa2, fb2 := wTCC.InputFootprint()
+		gain := sTCC.DNCImprovement() / sTUC.DNCImprovement()
+		gains = append(gains, gain)
+		t.AddRow(e.Name, metrics.MB(fa+fb), metrics.MB(fa2+fb2),
+			sTUC.DNCImprovement(), sTCC.DNCImprovement(), gain)
+	}
+	t.AddRow("geomean", "", "", "", "", metrics.Geomean(gains))
+	return t, nil
+}
+
+// AblAutoTile compares a runtime-chosen micro tile edge against the fixed
+// configuration-time edge.
+func (c *Context) AblAutoTile() (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: runtime micro tile selection",
+		"matrix", "fixed-edge", "auto-edge", "traffic-fixed-MB", "traffic-auto-MB", "gain")
+	opt := c.extensorOptions()
+	var gains []float64
+	entries := c.fig6Entries()
+	if len(entries) > 8 {
+		entries = entries[:8]
+	}
+	for _, e := range entries {
+		a := e.Generate(c.Opt.Scale)
+		edge := tiling.SuggestMicroTile(a, 4, 8, 16, 32)
+		run := func(mt int) (int64, error) {
+			w, err := accel.NewWorkload(e.Name, a, a, mt)
+			if err != nil {
+				return 0, err
+			}
+			r, err := extensor.Run(extensor.OPDRT, w, opt)
+			if err != nil {
+				return 0, err
+			}
+			return r.Traffic.Total(), nil
+		}
+		fixed, err := run(c.Opt.MicroTile)
+		if err != nil {
+			return nil, err
+		}
+		auto, err := run(edge)
+		if err != nil {
+			return nil, err
+		}
+		gain := float64(fixed) / float64(auto)
+		gains = append(gains, gain)
+		t.AddRow(e.Name, c.Opt.MicroTile, edge, metrics.MB(fixed), metrics.MB(auto), gain)
+	}
+	t.AddRow("geomean", "", "", "", "", metrics.Geomean(gains))
+	return t, nil
+}
+
+// AblDynPart compares per-workload buffer partition tuning (a dynamic
+// allocation oracle) against the fixed configuration-time split.
+func (c *Context) AblDynPart() (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: per-workload buffer partitioning",
+		"matrix", "fixed-ms", "best-ms", "best-A%", "best-B%", "gain")
+	candidates := []sim.Partition{
+		{AFrac: 0.05, BFrac: 0.45, OFrac: 0.50},
+		{AFrac: 0.10, BFrac: 0.45, OFrac: 0.45},
+		{AFrac: 0.10, BFrac: 0.60, OFrac: 0.30},
+		{AFrac: 0.20, BFrac: 0.40, OFrac: 0.40},
+		{AFrac: 0.30, BFrac: 0.30, OFrac: 0.40},
+		{AFrac: 0.05, BFrac: 0.70, OFrac: 0.25},
+	}
+	var gains []float64
+	entries := c.fig6Entries()
+	if len(entries) > 8 {
+		entries = entries[:8]
+	}
+	for _, e := range entries {
+		w, err := c.Square(e)
+		if err != nil {
+			return nil, err
+		}
+		opt := c.extensorOptions()
+		fixed, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			return nil, err
+		}
+		fixedMS := opt.Machine.Seconds(fixed.Cycles()) * 1e3
+		bestMS := fixedMS
+		bestPart := opt.Partition
+		for _, p := range candidates {
+			opt.Partition = p
+			r, err := extensor.Run(extensor.OPDRT, w, opt)
+			if err != nil {
+				return nil, err
+			}
+			if ms := opt.Machine.Seconds(r.Cycles()) * 1e3; ms < bestMS {
+				bestMS, bestPart = ms, p
+			}
+		}
+		gain := fixedMS / bestMS
+		gains = append(gains, gain)
+		t.AddRow(e.Name, fixedMS, bestMS, bestPart.AFrac*100, bestPart.BFrac*100, gain)
+	}
+	t.AddRow("geomean", "", "", "", "", metrics.Geomean(gains))
+	return t, nil
+}
+
+// AblPipeline compares the phase-max runtime model (steady-state pipelined
+// phases) against the explicit event-driven schedule of the task pipeline,
+// quantifying how much fill/drain and per-request DRAM latency the
+// phase-max approximation hides.
+func (c *Context) AblPipeline() (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: phase-max vs event-driven pipeline timing",
+		"matrix", "variant", "phase-max-ms", "event-ms", "event/phase")
+	opt := c.extensorOptions()
+	var ratios []float64
+	entries := c.fig6Entries()
+	if len(entries) > 8 {
+		entries = entries[:8]
+	}
+	for _, e := range entries {
+		w, err := c.Square(e)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range []extensor.Variant{extensor.OP, extensor.OPDRT} {
+			r, err := extensor.Run(v, w, opt)
+			if err != nil {
+				return nil, err
+			}
+			pm := opt.Machine.Seconds(r.Cycles()) * 1e3
+			ev := opt.Machine.Seconds(r.PipelineCyclesExact) * 1e3
+			ratio := ev / pm
+			ratios = append(ratios, ratio)
+			t.AddRow(e.Name, v.String(), pm, ev, ratio)
+		}
+	}
+	t.AddRow("geomean", "", "", "", metrics.Geomean(ratios))
+	return t, nil
+}

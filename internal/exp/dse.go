@@ -1,0 +1,234 @@
+package exp
+
+import (
+	"fmt"
+
+	"drt/internal/accel"
+	"drt/internal/accel/extensor"
+	"drt/internal/core"
+	"drt/internal/cpuref"
+	"drt/internal/energy"
+	"drt/internal/extractor"
+	"drt/internal/metrics"
+	"drt/internal/sim"
+)
+
+// Fig12 regenerates Figure 12: ExTensor-OP-DRT speedup over the CPU as
+// DRAM bandwidth scales 1×–8×, for the three intersection units.
+func (c *Context) Fig12() (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 12: bandwidth scaling (geomean speedup over CPU)",
+		"bandwidth", "Skip-Based", "Parallel", "Serial-Optimal")
+	kinds := []sim.IntersectKind{sim.SkipBased, sim.Parallel, sim.SerialOptimal}
+	for _, mult := range []float64{1, 2, 4, 8} {
+		cells := []any{fmt.Sprintf("%gx", mult)}
+		for _, kind := range kinds {
+			var speedups []float64
+			for _, e := range c.fig6Entries() {
+				w, err := c.Square(e)
+				if err != nil {
+					return nil, err
+				}
+				cpu := cpuref.SpMSpM(w, c.CPU())
+				opt := c.extensorOptions()
+				opt.Machine.DRAMBandwidth *= mult
+				opt.Intersect = kind
+				r, err := extensor.Run(extensor.OPDRT, w, opt)
+				if err != nil {
+					return nil, err
+				}
+				speedups = append(speedups, cpu.Seconds/opt.Machine.Seconds(r.Cycles()))
+			}
+			cells = append(cells, metrics.Geomean(speedups))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// Fig13 regenerates Figure 13: the area breakdown of ExTensor-OP-DRT.
+func (c *Context) Fig13() (*metrics.Table, error) {
+	m := sim.DefaultMachine() // area is reported for the full-scale design
+	ab := energy.AreaBreakdown(m)
+	total := energy.TotalArea(m)
+	t := metrics.NewTable("Fig. 13: area breakdown (fraction of total)",
+		"unit", "mm^2", "fraction")
+	for comp := energy.GlobalBuffer; comp <= energy.TileExtractors; comp++ {
+		t.AddRow(comp.String(), ab[comp], ab[comp]/total)
+	}
+	t.AddRow("TOTAL", total, 1.0)
+	t.AddRow("extractor overhead", "", energy.ExtractorOverhead(m))
+	return t, nil
+}
+
+// Fig14 regenerates Figure 14: geomean runtime as the A/B/O buffer
+// partition split changes.
+func (c *Context) Fig14() (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 14: buffer partition sweep (geomean runtime, ms)",
+		"A%", "B%", "O%", "runtime-ms")
+	entries := c.fig6Entries()
+	if len(entries) > 6 {
+		entries = entries[:6]
+	}
+	for _, af := range []float64{0.05, 0.10, 0.20, 0.40} {
+		for _, bf := range []float64{0.10, 0.30, 0.50, 0.70} {
+			of := 1 - af - bf
+			if of < 0.05 {
+				continue
+			}
+			opt := c.extensorOptions()
+			opt.Partition = sim.Partition{AFrac: af, BFrac: bf, OFrac: of}
+			var times []float64
+			for _, e := range entries {
+				w, err := c.Square(e)
+				if err != nil {
+					return nil, err
+				}
+				r, err := extensor.Run(extensor.OPDRT, w, opt)
+				if err != nil {
+					return nil, err
+				}
+				times = append(times, opt.Machine.Seconds(r.Cycles())*1e3)
+			}
+			t.AddRow(af*100, bf*100, of*100, metrics.Geomean(times))
+		}
+	}
+	return t, nil
+}
+
+// Fig15 regenerates Figure 15: traffic and runtime overhead of the
+// alternating DRT growth variant relative to the default greedy
+// contracted-first strategy.
+func (c *Context) Fig15() (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 15: alternating DRT overhead vs greedy (×, lower is better)",
+		"matrix", "traffic-overhead", "runtime-overhead")
+	var trs, rts []float64
+	for _, e := range c.fig6Entries() {
+		w, err := c.Square(e)
+		if err != nil {
+			return nil, err
+		}
+		opt := c.extensorOptions()
+		greedy, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			return nil, err
+		}
+		opt.Strategy = core.Alternating
+		alt, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			return nil, err
+		}
+		tr := float64(alt.Traffic.Total()) / float64(greedy.Traffic.Total())
+		rt := alt.Cycles() / greedy.Cycles()
+		trs = append(trs, tr)
+		rts = append(rts, rt)
+		t.AddRow(e.Name, tr, rt)
+	}
+	t.AddRow("geomean", metrics.Geomean(trs), metrics.Geomean(rts))
+	return t, nil
+}
+
+// Fig16 regenerates Figure 16: runtime as DRT's starting tile size along
+// the J rank (the stationary B matrix) grows.
+func (c *Context) Fig16() (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 16: starting tile size sweep (runtime, ms)",
+		"matrix", "startJ=1", "2", "4", "8", "16")
+	entries := c.fig6Entries()
+	if len(entries) > 6 {
+		entries = entries[:6]
+	}
+	for _, e := range entries {
+		w, err := c.Square(e)
+		if err != nil {
+			return nil, err
+		}
+		cells := []any{e.Name}
+		for _, startJ := range []int{1, 2, 4, 8, 16} {
+			opt := c.extensorOptions()
+			opt.InitialSize = []int{1, startJ, 1}
+			r, err := extensor.Run(extensor.OPDRT, w, opt)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, opt.Machine.Seconds(r.Cycles())*1e3)
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// Fig17 regenerates Figure 17: overall DRAM traffic as the micro tile
+// shape changes. Large micro tiles converge to S-U-C behavior; tiny ones
+// pay metadata overhead.
+func (c *Context) Fig17() (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 17: micro tile shape sweep (traffic, MB)",
+		"matrix", "mt=4", "mt=8", "mt=16", "mt=32", "mt=64")
+	entries := c.fig6Entries()
+	if len(entries) > 6 {
+		entries = entries[:6]
+	}
+	for _, e := range entries {
+		a := e.Generate(c.Opt.Scale)
+		cells := []any{e.Name}
+		for _, mt := range []int{4, 8, 16, 32, 64} {
+			w, err := accel.NewWorkload(e.Name, a, a, mt)
+			if err != nil {
+				return nil, err
+			}
+			r, err := extensor.Run(extensor.OPDRT, w, c.extensorOptions())
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, metrics.MB(r.Traffic.Total()))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// Sec65 regenerates the Section 6.5 studies: the parallel tile extractor's
+// runtime overhead versus an ideal extractor, and the energy comparison of
+// the three ExTensor variants.
+func (c *Context) Sec65() (*metrics.Table, error) {
+	t := metrics.NewTable("Sec. 6.5: extraction overhead and energy",
+		"matrix", "extract-overhead-%", "E(ExTensor)/E(DRT)", "E(OP)/E(DRT)")
+	entries := c.fig6Entries()
+	if len(entries) > 8 {
+		entries = entries[:8]
+	}
+	var ovh, eEx, eOP []float64
+	for _, e := range entries {
+		w, err := c.Square(e)
+		if err != nil {
+			return nil, err
+		}
+		opt := c.extensorOptions()
+		opt.Extractor = extractor.ParallelExtractor
+		par, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			return nil, err
+		}
+		opt.Extractor = extractor.IdealExtractor
+		ideal, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			return nil, err
+		}
+		over := (par.Cycles() - ideal.Cycles()) / ideal.Cycles() * 100
+		ex, err := extensor.Run(extensor.Original, w, opt)
+		if err != nil {
+			return nil, err
+		}
+		op, err := extensor.Run(extensor.OP, w, opt)
+		if err != nil {
+			return nil, err
+		}
+		eDRT := energy.Estimate(par).Total()
+		rEx := energy.Estimate(ex).Total() / eDRT
+		rOP := energy.Estimate(op).Total() / eDRT
+		ovh = append(ovh, over)
+		eEx = append(eEx, rEx)
+		eOP = append(eOP, rOP)
+		t.AddRow(e.Name, over, rEx, rOP)
+	}
+	t.AddRow("geomean", metrics.Median(ovh), metrics.Geomean(eEx), metrics.Geomean(eOP))
+	return t, nil
+}

@@ -1,0 +1,138 @@
+// Package exp implements the paper's evaluation: one runner per figure and
+// table (see DESIGN.md §4 for the experiment index). Each runner returns a
+// plain-text table carrying the same rows/series the paper's plot reports;
+// cmd/drtbench prints them and the root bench harness wraps each in a Go
+// benchmark.
+//
+// Workloads are scaled down by Options.Scale (dimensions ÷ scale,
+// occupancy ÷ scale², density preserved); on-chip buffer capacities scale
+// by scale² so the working-set-to-buffer ratios — which determine tiling
+// behavior — match the full-size configuration.
+package exp
+
+import (
+	"fmt"
+
+	"drt/internal/accel"
+	"drt/internal/cpuref"
+	"drt/internal/sim"
+	"drt/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale divides workload dimensions (1 = full paper scale).
+	Scale int
+	// MicroTile is the S-U-C micro tile edge (Sec. 5.2.4 uses 32×32 at
+	// full scale; the default scales it with the matrices).
+	MicroTile int
+	// MaxWorkloads caps the number of catalog entries per experiment
+	// (0 = all); tests and quick benches use small values.
+	MaxWorkloads int
+}
+
+// DefaultOptions is the configuration drtbench uses.
+func DefaultOptions() Options {
+	return Options{Scale: 16, MicroTile: 16}
+}
+
+// Context memoizes prepared workloads across experiments (building one
+// involves the exact reference SpMSpM).
+type Context struct {
+	Opt Options
+
+	spmspm map[string]*accel.Workload
+}
+
+// NewContext returns a fresh experiment context.
+func NewContext(opt Options) *Context {
+	if opt.Scale < 1 {
+		opt.Scale = 1
+	}
+	if opt.MicroTile < 1 {
+		opt.MicroTile = 16
+	}
+	return &Context{Opt: opt, spmspm: map[string]*accel.Workload{}}
+}
+
+// Machine returns the accelerator machine with buffers scaled to the
+// workload scale. Workloads shrink by the scale factor in both dimension
+// and occupancy (degree-preserving), so dividing buffer capacity by the
+// same factor preserves the buffer-to-working-set ratio that determines
+// tiling behavior.
+func (c *Context) Machine() sim.Machine {
+	m := sim.DefaultMachine()
+	s := int64(c.Opt.Scale)
+	m.GlobalBuffer /= s
+	if m.GlobalBuffer < 32<<10 {
+		m.GlobalBuffer = 32 << 10
+	}
+	// PE buffers hold a handful of micro tiles regardless of scale; below
+	// ~8 KB the hierarchy degenerates into per-tile streaming that no
+	// machine would be built with.
+	m.PEBuffer /= s
+	if m.PEBuffer < 8<<10 {
+		m.PEBuffer = 8 << 10
+	}
+	return m
+}
+
+// CPU returns the baseline CPU with its LLC scaled to match.
+func (c *Context) CPU() cpuref.CPU {
+	cpu := cpuref.DefaultCPU()
+	cpu.LLCBytes /= int64(c.Opt.Scale)
+	if cpu.LLCBytes < 32<<10 {
+		cpu.LLCBytes = 32 << 10
+	}
+	return cpu
+}
+
+// Square returns the memoized S² workload (B = A) for a catalog entry.
+func (c *Context) Square(e workloads.Entry) (*accel.Workload, error) {
+	if w, ok := c.spmspm[e.Name]; ok {
+		return w, nil
+	}
+	a := e.Generate(c.Opt.Scale)
+	w, err := accel.NewWorkload(e.Name, a, a, c.Opt.MicroTile)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
+	}
+	c.spmspm[e.Name] = w
+	return w, nil
+}
+
+// fig6Entries returns the Fig. 6 matrix set, truncated per MaxWorkloads
+// while keeping both pattern groups represented.
+func (c *Context) fig6Entries() []workloads.Entry {
+	set := workloads.Fig6Set()
+	n := c.Opt.MaxWorkloads
+	if n <= 0 || n >= len(set) {
+		return set
+	}
+	// Take alternately from the front of each group so small caps still
+	// span both sparsity patterns.
+	var diamond, unstructured []workloads.Entry
+	for _, e := range set {
+		if e.Pattern == workloads.Diamond {
+			diamond = append(diamond, e)
+		} else {
+			unstructured = append(unstructured, e)
+		}
+	}
+	var out []workloads.Entry
+	for i := 0; len(out) < n; i++ {
+		if i < len(diamond) {
+			out = append(out, diamond[i])
+			if len(out) == n {
+				break
+			}
+		}
+		if i < len(unstructured) {
+			out = append(out, unstructured[i])
+		}
+		if i >= len(diamond) && i >= len(unstructured) {
+			break
+		}
+	}
+	return out
+}

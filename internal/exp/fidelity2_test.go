@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"testing"
+
+	"drt/internal/accel"
+	"drt/internal/accel/extensor"
+	"drt/internal/core"
+	"drt/internal/energy"
+	"drt/internal/metrics"
+	"drt/internal/tensor"
+)
+
+func TestSec65Shape(t *testing.T) {
+	// Sec. 6.5: ExTensor-OP-DRT consumes less energy than both ExTensor
+	// and ExTensor-OP (traffic reduction dominates the energy budget).
+	c := fidelityContext()
+	opt := c.extensorOptions()
+	var rEx, rOP []float64
+	for _, e := range c.fig6Entries() {
+		w, err := c.Square(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drt, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := extensor.Run(extensor.Original, w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := extensor.Run(extensor.OP, w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eDRT := energy.Estimate(drt).Total()
+		rEx = append(rEx, energy.Estimate(ex).Total()/eDRT)
+		rOP = append(rOP, energy.Estimate(op).Total()/eDRT)
+	}
+	if g := metrics.Geomean(rEx); g <= 1 {
+		t.Fatalf("ExTensor/DRT energy ratio %.2f, want > 1", g)
+	}
+	if g := metrics.Geomean(rOP); g <= 1 {
+		t.Fatalf("ExTensor-OP/DRT energy ratio %.2f, want > 1", g)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	// Fig. 15: the alternating growth variant does not beat greedy
+	// contracted-first in geomean traffic — the basis for the paper
+	// choosing greedy as the default. On the scaled low-degree catalog
+	// the two come out close (the paper's full-degree matrices show a
+	// clearer alternating penalty), so the robust check is that
+	// alternating offers no meaningful advantage.
+	c := fidelityContext()
+	opt := c.extensorOptions()
+	var overhead []float64
+	for _, e := range c.fig6Entries() {
+		w, err := c.Square(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		altOpt := opt
+		altOpt.Strategy = core.Alternating
+		alt, err := extensor.Run(extensor.OPDRT, w, altOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overhead = append(overhead, float64(alt.Traffic.Total())/float64(greedy.Traffic.Total()))
+	}
+	if g := metrics.Geomean(overhead); g < 0.9 {
+		t.Fatalf("alternating traffic ratio geomean %.3f — a >10%% win over greedy would contradict the paper's default choice", g)
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	// Fig. 17: very large micro tiles converge toward S-U-C behavior —
+	// traffic with a huge micro tile must be no better than with the
+	// evaluation's default.
+	c := fidelityContext()
+	opt := c.extensorOptions()
+	e := c.fig6Entries()[1] // an unstructured entry
+	a := e.Generate(c.Opt.Scale)
+	traffic := func(mt int) int64 {
+		w, err := newWorkload(t, e.Name, a, mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Traffic.Total()
+	}
+	small := traffic(8)
+	huge := traffic(128)
+	if huge < small {
+		t.Fatalf("128-wide micro tiles beat 8-wide: %d < %d", huge, small)
+	}
+}
+
+// newWorkload is a small helper so shape tests can vary the micro tile.
+func newWorkload(t *testing.T, name string, a *tensor.CSR, mt int) (*accel.Workload, error) {
+	t.Helper()
+	return accel.NewWorkload(name, a, a, mt)
+}

@@ -1,0 +1,275 @@
+package exp
+
+import (
+	"fmt"
+
+	"drt/internal/accel"
+	"drt/internal/accel/extensor"
+	"drt/internal/accel/matraptor"
+	"drt/internal/accel/outerspace"
+	"drt/internal/cpuref"
+	"drt/internal/gen"
+	"drt/internal/metrics"
+	"drt/internal/sim"
+	"drt/internal/workloads"
+)
+
+// extensorOptions builds the scaled ExTensor options for this context.
+func (c *Context) extensorOptions() extensor.Options {
+	opt := extensor.DefaultOptions()
+	opt.Machine = c.Machine()
+	return opt
+}
+
+// Fig01 regenerates Figure 1: per-operand DRAM traffic of OuterSPACE,
+// MatRaptor, ExTensor and ExTensor-OP-DRT aggregated over the S² set,
+// with the read-once/write-once lower bound per design.
+func (c *Context) Fig01() (*metrics.Table, error) {
+	var osT, mrT, exT, drtT metrics.Traffic
+	var lower metrics.Traffic
+	exOpt := c.extensorOptions()
+	for _, e := range c.fig6Entries() {
+		w, err := c.Square(e)
+		if err != nil {
+			return nil, err
+		}
+		r, err := outerspace.Run(outerspace.Untiled, w, outerspace.Options{Machine: exOpt.Machine, Partition: exOpt.Partition})
+		if err != nil {
+			return nil, err
+		}
+		osT.Add(r.Traffic)
+		r, err = matraptor.Run(matraptor.Untiled, w, matraptor.Options{Machine: exOpt.Machine, Partition: exOpt.Partition})
+		if err != nil {
+			return nil, err
+		}
+		mrT.Add(r.Traffic)
+		r, err = extensor.Run(extensor.Original, w, exOpt)
+		if err != nil {
+			return nil, err
+		}
+		exT.Add(r.Traffic)
+		r, err = extensor.Run(extensor.OPDRT, w, exOpt)
+		if err != nil {
+			return nil, err
+		}
+		drtT.Add(r.Traffic)
+		fa, fb := w.InputFootprint()
+		lower.Add(metrics.Traffic{A: fa, B: fb, Z: w.OutputFootprint()})
+	}
+	t := metrics.NewTable("Fig. 1: aggregate DRAM traffic per operand (MB, scaled workloads)",
+		"accelerator", "A", "B", "Z", "total", "lower-bound", "ratio")
+	row := func(name string, tr metrics.Traffic) {
+		t.AddRow(name, metrics.MB(tr.A), metrics.MB(tr.B), metrics.MB(tr.Z),
+			metrics.MB(tr.Total()), metrics.MB(lower.Total()),
+			float64(tr.Total())/float64(lower.Total()))
+	}
+	row("OuterSPACE", osT)
+	row("MatRaptor", mrT)
+	row("ExTensor", exT)
+	row("ExTensor-OP-DRT", drtT)
+	return t, nil
+}
+
+// speedups runs the three ExTensor variants on one workload and returns
+// actual and DRAM-bound speedups over the modeled CPU.
+type fig6Row struct {
+	entry workloads.Entry
+	cpu   cpuref.Result
+	res   map[extensor.Variant]sim.Result
+}
+
+func (c *Context) fig6Row(e workloads.Entry, variants []extensor.Variant) (fig6Row, error) {
+	w, err := c.Square(e)
+	if err != nil {
+		return fig6Row{}, err
+	}
+	row := fig6Row{entry: e, cpu: cpuref.SpMSpM(w, c.CPU()), res: map[extensor.Variant]sim.Result{}}
+	opt := c.extensorOptions()
+	for _, v := range variants {
+		r, err := extensor.Run(v, w, opt)
+		if err != nil {
+			return fig6Row{}, fmt.Errorf("%s/%v: %w", e.Name, v, err)
+		}
+		row.res[v] = r
+	}
+	return row, nil
+}
+
+func (r fig6Row) speedup(m sim.Machine, v extensor.Variant) (actual, dramBound float64) {
+	res := r.res[v]
+	return r.cpu.Seconds / m.Seconds(res.Cycles()), r.cpu.Seconds / m.Seconds(res.DRAMBoundCycles())
+}
+
+// Fig06 regenerates Figure 6: S² speedup over the CPU for ExTensor,
+// ExTensor-OP and ExTensor-OP-DRT, with DRAM-bound (red dot) columns.
+func (c *Context) Fig06() (*metrics.Table, error) {
+	variants := []extensor.Variant{extensor.Original, extensor.OP, extensor.OPDRT}
+	t := metrics.NewTable("Fig. 6: S² speedup over CPU (× ; 'bound' columns are the red dots)",
+		"matrix", "group", "ExTensor", "ExT-bound", "ExTensor-OP", "OP-bound", "OP-DRT", "DRT-bound")
+	m := c.Machine()
+	geo := map[extensor.Variant][]float64{}
+	for _, e := range c.fig6Entries() {
+		row, err := c.fig6Row(e, variants)
+		if err != nil {
+			return nil, err
+		}
+		var cells []any
+		cells = append(cells, e.Name, e.Pattern.String())
+		for _, v := range variants {
+			a, b := row.speedup(m, v)
+			cells = append(cells, a, b)
+			geo[v] = append(geo[v], a)
+		}
+		t.AddRow(cells...)
+	}
+	t.AddRow("geomean", "",
+		metrics.Geomean(geo[extensor.Original]), "",
+		metrics.Geomean(geo[extensor.OP]), "",
+		metrics.Geomean(geo[extensor.OPDRT]), "")
+	return t, nil
+}
+
+// Fig07 regenerates Figure 7: tall-skinny SpMSpM (Fᵀ·F short-long and
+// F·Fᵀ tall-skinny) speedups over the CPU.
+func (c *Context) Fig07() (*metrics.Table, error) {
+	variants := []extensor.Variant{extensor.Original, extensor.OP, extensor.OPDRT}
+	t := metrics.NewTable("Fig. 7: tall-skinny speedup over CPU (×)",
+		"workload", "shape", "ExTensor", "ExTensor-OP", "OP-DRT", "DRT-bound")
+	m := c.Machine()
+	opt := c.extensorOptions()
+	geo := map[extensor.Variant][]float64{}
+	entries := c.fig6Entries()
+	if len(entries) > 8 && c.Opt.MaxWorkloads == 0 {
+		entries = entries[:8]
+	}
+	for _, e := range entries {
+		f, fT := e.TallSkinnyPair(c.Opt.Scale, 1<<7)
+		pairs := []struct {
+			suffix string
+			wl     func() (*accel.Workload, error)
+		}{
+			{"FᵀF", func() (*accel.Workload, error) {
+				return accel.NewWorkload(e.Name+"-FtF", fT, f, c.Opt.MicroTile)
+			}},
+			{"FFᵀ", func() (*accel.Workload, error) {
+				return accel.NewWorkload(e.Name+"-FFt", f, fT, c.Opt.MicroTile)
+			}},
+		}
+		for _, p := range pairs {
+			w, err := p.wl()
+			if err != nil {
+				return nil, err
+			}
+			cpu := cpuref.SpMSpM(w, c.CPU())
+			var cells []any
+			cells = append(cells, e.Name, p.suffix)
+			var drtBound float64
+			for _, v := range variants {
+				r, err := extensor.Run(v, w, opt)
+				if err != nil {
+					return nil, fmt.Errorf("%s-%s/%v: %w", e.Name, p.suffix, v, err)
+				}
+				s := cpu.Seconds / m.Seconds(r.Cycles())
+				cells = append(cells, s)
+				geo[v] = append(geo[v], s)
+				if v == extensor.OPDRT {
+					drtBound = cpu.Seconds / m.Seconds(r.DRAMBoundCycles())
+				}
+			}
+			cells = append(cells, drtBound)
+			t.AddRow(cells...)
+		}
+	}
+	t.AddRow("geomean", "",
+		metrics.Geomean(geo[extensor.Original]),
+		metrics.Geomean(geo[extensor.OP]),
+		metrics.Geomean(geo[extensor.OPDRT]), "")
+	return t, nil
+}
+
+// Fig08 regenerates Figure 8: MS-BFS (all iterations, Fᵀ·S) speedup over
+// the CPU for ExTensor and ExTensor-OP-DRT, ordered by the adjacency
+// matrix's coefficient of row variation.
+func (c *Context) Fig08() (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 8: MS-BFS all-iterations speedup over CPU (aspect 2^7)",
+		"matrix", "row-variation", "ExTensor", "OP-DRT", "DRT/ExT")
+	m := c.Machine()
+	opt := c.extensorOptions()
+	type rowData struct {
+		name   string
+		rowVar float64
+		exSec  float64
+		drtSec float64
+		cpuSec float64
+	}
+	var rows []rowData
+	entries := c.fig6Entries()
+	if len(entries) > 10 && c.Opt.MaxWorkloads == 0 {
+		entries = entries[:10]
+	}
+	for _, e := range entries {
+		s := e.Generate(c.Opt.Scale)
+		sources := s.Rows / (1 << 7)
+		if sources < 2 {
+			sources = 2
+		}
+		init := gen.Frontier(s.Cols, sources, e.Seed+5000)
+		run, err := workloads.MSBFS(s, init, 12)
+		if err != nil {
+			return nil, err
+		}
+		rd := rowData{name: e.Name, rowVar: s.RowNNZVariation()}
+		// Prepare all per-iteration workloads, then sweep the S-U-C
+		// baseline's tile shape once per workload (on the busiest
+		// iteration) — the paper sweeps per workload, and an MS-BFS
+		// workload is the whole iteration sequence.
+		var iterWs []*accel.Workload
+		busiest := 0
+		for i, f := range run.Frontiers {
+			w, err := accel.NewWorkload(e.Name+"-bfs", f, s, c.Opt.MicroTile)
+			if err != nil {
+				return nil, err
+			}
+			iterWs = append(iterWs, w)
+			if f.NNZ() > run.Frontiers[busiest].NNZ() {
+				busiest = i
+			}
+		}
+		shape, err := extensor.BestStaticShape(extensor.Original, iterWs[busiest], opt)
+		if err != nil {
+			return nil, err
+		}
+		exOpt := opt
+		exOpt.StaticShape = shape
+		for _, w := range iterWs {
+			rd.cpuSec += cpuref.SpMSpM(w, c.CPU()).Seconds
+			r, err := extensor.Run(extensor.Original, w, exOpt)
+			if err != nil {
+				return nil, err
+			}
+			rd.exSec += m.Seconds(r.Cycles())
+			r, err = extensor.Run(extensor.OPDRT, w, opt)
+			if err != nil {
+				return nil, err
+			}
+			rd.drtSec += m.Seconds(r.Cycles())
+		}
+		rows = append(rows, rd)
+	}
+	// Sort by increasing row variation, as the figure does.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].rowVar < rows[j-1].rowVar; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	var exS, drtS []float64
+	for _, rd := range rows {
+		ex, drt := rd.cpuSec/rd.exSec, rd.cpuSec/rd.drtSec
+		exS = append(exS, ex)
+		drtS = append(drtS, drt)
+		t.AddRow(rd.name, rd.rowVar, ex, drt, drt/ex)
+	}
+	t.AddRow("geomean", "", metrics.Geomean(exS), metrics.Geomean(drtS),
+		metrics.Geomean(drtS)/metrics.Geomean(exS))
+	return t, nil
+}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"drt/internal/accel/matraptor"
+	"drt/internal/accel/outerspace"
+	"drt/internal/metrics"
+	"drt/internal/swdrt"
+)
+
+// Fig10 regenerates Figure 10: OuterSPACE and MatRaptor speedups of the
+// S-U-C and DRT variants relative to each untiled baseline, with the
+// DRAM-bound (arithmetic intensity) ratios as the red-dot columns.
+func (c *Context) Fig10() (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 10: portability — speedup over untiled baseline (×)",
+		"matrix", "accel", "SUC", "SUC-bound", "DRT", "DRT-bound")
+	m := c.Machine()
+	osOpt := outerspace.Options{Machine: m, Partition: c.extensorOptions().Partition}
+	mrOpt := matraptor.Options{Machine: m, Partition: osOpt.Partition}
+	var osSUC, osDRT, mrSUC, mrDRT []float64
+	for _, e := range c.fig6Entries() {
+		w, err := c.Square(e)
+		if err != nil {
+			return nil, err
+		}
+		// OuterSPACE row.
+		ubase, err := outerspace.Run(outerspace.Untiled, w, osOpt)
+		if err != nil {
+			return nil, err
+		}
+		suc, err := outerspace.Run(outerspace.SUC, w, osOpt)
+		if err != nil {
+			return nil, err
+		}
+		drt, err := outerspace.Run(outerspace.DRT, w, osOpt)
+		if err != nil {
+			return nil, err
+		}
+		s1, s2 := ubase.Cycles()/suc.Cycles(), ubase.Cycles()/drt.Cycles()
+		osSUC = append(osSUC, s1)
+		osDRT = append(osDRT, s2)
+		t.AddRow(e.Name, "OuterSPACE", s1, suc.AI()/ubase.AI(), s2, drt.AI()/ubase.AI())
+		// MatRaptor row.
+		mbase, err := matraptor.Run(matraptor.Untiled, w, mrOpt)
+		if err != nil {
+			return nil, err
+		}
+		msuc, err := matraptor.Run(matraptor.SUC, w, mrOpt)
+		if err != nil {
+			return nil, err
+		}
+		mdrt, err := matraptor.Run(matraptor.DRT, w, mrOpt)
+		if err != nil {
+			return nil, err
+		}
+		s1, s2 = mbase.Cycles()/msuc.Cycles(), mbase.Cycles()/mdrt.Cycles()
+		mrSUC = append(mrSUC, s1)
+		mrDRT = append(mrDRT, s2)
+		t.AddRow(e.Name, "MatRaptor", s1, msuc.AI()/mbase.AI(), s2, mdrt.AI()/mbase.AI())
+	}
+	t.AddRow("geomean", "OuterSPACE", metrics.Geomean(osSUC), "", metrics.Geomean(osDRT), "")
+	t.AddRow("geomean", "MatRaptor", metrics.Geomean(mrSUC), "", metrics.Geomean(mrDRT), "")
+	return t, nil
+}
+
+// Fig11 regenerates Figure 11: software S-U-C and DRT memory-traffic
+// improvement over untiled SpMSpM across the S² set.
+func (c *Context) Fig11() (*metrics.Table, error) {
+	t := metrics.NewTable("Fig. 11: software tiling traffic improvement over untiled (×)",
+		"matrix", "pattern", "density", "SW-SUC", "SW-DNC", "DNC/SUC")
+	opt := swdrt.DefaultOptions()
+	opt.LLCBytes = c.CPU().LLCBytes
+	var sucR, dncR []float64
+	for _, e := range c.fig6Entries() {
+		w, err := c.Square(e)
+		if err != nil {
+			return nil, err
+		}
+		s, err := swdrt.Run(w, opt)
+		if err != nil {
+			return nil, err
+		}
+		sucR = append(sucR, s.SUCImprovement())
+		dncR = append(dncR, s.DNCImprovement())
+		t.AddRow(e.Name, e.Pattern.String(), e.Density(),
+			s.SUCImprovement(), s.DNCImprovement(), s.DNCImprovement()/s.SUCImprovement())
+	}
+	t.AddRow("geomean", "", "", metrics.Geomean(sucR), metrics.Geomean(dncR),
+		metrics.Geomean(dncR)/metrics.Geomean(sucR))
+	return t, nil
+}

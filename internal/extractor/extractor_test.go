@@ -1,0 +1,53 @@
+package extractor
+
+import (
+	"testing"
+
+	"drt/internal/core"
+)
+
+func task(scan int64, probes int, tiles []int64) *core.Task {
+	return &core.Task{ScanTiles: scan, Probes: probes, OpTiles: tiles, Rebuilt: make([]bool, len(tiles))}
+}
+
+func TestIdealExtractorIsFree(t *testing.T) {
+	tk := task(1000, 50, []int64{10, 20})
+	if c := TaskCost(IdealExtractor, tk); c.Total() != 0 {
+		t.Fatalf("ideal extractor cost %g, want 0", c.Total())
+	}
+}
+
+func TestParallelExtractorScales(t *testing.T) {
+	tk := task(320, 4, []int64{8, 8})
+	tk.Rebuilt = []bool{true, true}
+	c := TaskCost(ParallelExtractor, tk)
+	// Aggregate: 320/32 + 4 probes = 14; MD build: 3 × 16 tiles = 48.
+	if c.Aggregate != 14 {
+		t.Fatalf("aggregate = %g, want 14", c.Aggregate)
+	}
+	if c.MDBuild != 48 {
+		t.Fatalf("md build = %g, want 48", c.MDBuild)
+	}
+	// Non-rebuilt operands incur no MD build.
+	tk.Rebuilt = []bool{true, false}
+	if c := TaskCost(ParallelExtractor, tk); c.MDBuild != 24 {
+		t.Fatalf("md build with one rebuild = %g, want 24", c.MDBuild)
+	}
+}
+
+func TestPipelineHidesExtraction(t *testing.T) {
+	costs := []Cost{{Aggregate: 10}, {Aggregate: 10}, {Aggregate: 10}}
+	// Large per-task cover (distribution time) hides all but the first.
+	visible := PipelineCycles(costs, []float64{100, 100, 100})
+	if visible != 10 {
+		t.Fatalf("visible = %g, want 10 (only the pipeline fill)", visible)
+	}
+	// Zero cover hides nothing.
+	if v := PipelineCycles(costs, []float64{0, 0, 0}); v != 30 {
+		t.Fatalf("visible = %g, want 30", v)
+	}
+	// Partial cover leaks partially.
+	if v := PipelineCycles(costs, []float64{4, 4, 4}); v != 10+6+6 {
+		t.Fatalf("visible = %g, want 22", v)
+	}
+}

@@ -1,0 +1,175 @@
+// Package gen builds the synthetic workloads that stand in for the paper's
+// SuiteSparse/SNAP matrices and FROSTT tensors (see DESIGN.md §1). Every
+// generator is deterministic given its seed, so experiments are exactly
+// reproducible run to run.
+//
+// Two matrix families cover the paper's two sparsity-pattern groups:
+//
+//   - Banded generates the "diamond band" FEM-style matrices (pwtk, cant,
+//     consph, ...): non-zeros concentrated around the diagonal within a
+//     bandwidth, with a per-point fill probability.
+//   - RMAT generates the unstructured power-law graphs (cit-HepPh,
+//     soc-Epinions1, ...) using the recursive-matrix method, which yields
+//     the skewed row-length distributions Fig. 8 sorts by.
+//
+// Tall-skinny frontier matrices for MS-BFS and hyper-sparse 3-tensors for
+// the Gram kernel are generated here as well.
+package gen
+
+import (
+	"math/rand"
+
+	"drt/internal/tensor"
+)
+
+// Uniform returns an Erdős–Rényi style matrix with approximately nnz
+// non-zeros placed uniformly at random with values in (0, 1].
+func Uniform(rows, cols, nnz int, seed int64) *tensor.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := tensor.NewCOO(rows, cols)
+	for t := 0; t < nnz; t++ {
+		m.Append(rng.Intn(rows), rng.Intn(cols), rng.Float64()+0.5)
+	}
+	return tensor.FromCOO(m)
+}
+
+// Banded returns a matrix whose non-zeros lie within |i-j| <= halfBand of
+// the diagonal, filled with probability fill. A small blockSize introduces
+// the dense sub-blocks characteristic of assembled FEM matrices: each
+// (block-diagonal-adjacent) block is kept or dropped as a unit, producing
+// the "diamond band" pattern of the paper's left-hand workload group.
+func Banded(n, halfBand, blockSize int, fill float64, seed int64) *tensor.CSR {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := tensor.NewCOO(n, n)
+	for bi := 0; bi < n; bi += blockSize {
+		for bj := max(0, bi-halfBand); bj <= bi+halfBand && bj < n; bj += blockSize {
+			if rng.Float64() >= fill {
+				continue
+			}
+			// Fill the whole block densely (clipped to the matrix and band).
+			for i := bi; i < bi+blockSize && i < n; i++ {
+				for j := bj; j < bj+blockSize && j < n; j++ {
+					if abs(i-j) <= halfBand {
+						m.Append(i, j, rng.Float64()+0.5)
+					}
+				}
+			}
+		}
+	}
+	return tensor.FromCOO(m)
+}
+
+// RMAT returns an n×n recursive-matrix (Kronecker) graph with about nnz
+// edges. Probabilities (a, b, c, d) control skew; the classic SNAP-like
+// setting is (0.57, 0.19, 0.19, 0.05). n is rounded up to a power of two
+// internally and points outside n are rejected.
+func RMAT(n, nnz int, a, b, c float64, seed int64) *tensor.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	// Round the recursion depth up to cover n.
+	levels := 0
+	for (1 << levels) < n {
+		levels++
+	}
+	m := tensor.NewCOO(n, n)
+	for placed, attempts := 0, 0; placed < nnz && attempts < nnz*20; attempts++ {
+		i, j := 0, 0
+		for l := 0; l < levels; l++ {
+			r := rng.Float64()
+			i <<= 1
+			j <<= 1
+			switch {
+			case r < a: // top-left
+			case r < a+b: // top-right
+				j |= 1
+			case r < a+b+c: // bottom-left
+				i |= 1
+			default: // bottom-right
+				i |= 1
+				j |= 1
+			}
+		}
+		if i >= n || j >= n {
+			continue
+		}
+		m.Append(i, j, rng.Float64()+0.5)
+		placed++
+	}
+	return tensor.FromCOO(m)
+}
+
+// Frontier returns the MS-BFS frontier matrix Fᵀ of shape sources×n: each
+// row s holds a single 1 at a randomly selected source vertex. The paper's
+// aspect ratio of columns to rows (2⁷, 2⁹, 2¹¹) determines sources = n /
+// aspect.
+func Frontier(n, sources int, seed int64) *tensor.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := tensor.NewCOO(sources, n)
+	seen := map[int]bool{}
+	for s := 0; s < sources; s++ {
+		v := rng.Intn(n)
+		for seen[v] && len(seen) < n {
+			v = rng.Intn(n)
+		}
+		seen[v] = true
+		m.Append(s, v, 1)
+	}
+	return tensor.FromCOO(m)
+}
+
+// TallSkinny returns a rows×cols matrix with rows >> cols and about nnz
+// uniformly placed non-zeros; the FᵀF / FFᵀ workloads of Fig. 7 use it.
+func TallSkinny(rows, cols, nnz int, seed int64) *tensor.CSR {
+	return Uniform(rows, cols, nnz, seed)
+}
+
+// Tensor3 returns an i×j×k tensor with about nnz uniformly placed
+// non-zeros, the stand-in for FROSTT tensors in the Fig. 9 density sweep.
+func Tensor3(i, j, k, nnz int, seed int64) *tensor.CSF3 {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.NewCOO3(i, j, k)
+	for n := 0; n < nnz; n++ {
+		t.Append(rng.Intn(i), rng.Intn(j), rng.Intn(k), rng.Float64()+0.5)
+	}
+	return tensor.FromCOO3(t)
+}
+
+// Tensor3Clustered returns a tensor whose non-zeros concentrate in random
+// dense-ish blocks, modeling the mode-local structure of real FROSTT
+// datasets (Benson et al.'s generated tensors in Fig. 9).
+func Tensor3Clustered(i, j, k, nnz, clusters, radius int, seed int64) *tensor.CSF3 {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.NewCOO3(i, j, k)
+	type center struct{ ci, cj, ck int }
+	cs := make([]center, clusters)
+	for c := range cs {
+		cs[c] = center{rng.Intn(i), rng.Intn(j), rng.Intn(k)}
+	}
+	for n := 0; n < nnz; n++ {
+		c := cs[rng.Intn(len(cs))]
+		pi := clamp(c.ci+rng.Intn(2*radius+1)-radius, 0, i-1)
+		pj := clamp(c.cj+rng.Intn(2*radius+1)-radius, 0, j-1)
+		pk := clamp(c.ck+rng.Intn(2*radius+1)-radius, 0, k-1)
+		t.Append(pi, pj, pk, rng.Float64()+0.5)
+	}
+	return tensor.FromCOO3(t)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

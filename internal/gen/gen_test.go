@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformBasics(t *testing.T) {
+	m := Uniform(100, 80, 500, 1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 100 || m.Cols != 80 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	// Collisions only ever reduce the count.
+	if m.NNZ() > 500 || m.NNZ() < 400 {
+		t.Fatalf("nnz = %d, want ~500", m.NNZ())
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(50, 50, 200, 42)
+	b := Uniform(50, 50, 200, 42)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := Uniform(50, 50, 200, 43)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestBandedStaysInBand(t *testing.T) {
+	halfBand := 7
+	m := Banded(120, halfBand, 3, 0.5, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() == 0 {
+		t.Fatal("banded matrix is empty")
+	}
+	for i := 0; i < m.Rows; i++ {
+		f := m.Row(i)
+		for _, j := range f.Coords {
+			if d := i - j; d > halfBand || d < -halfBand {
+				t.Fatalf("point (%d,%d) outside band %d", i, j, halfBand)
+			}
+		}
+	}
+}
+
+func TestBandedLowRowVariation(t *testing.T) {
+	band := Banded(400, 10, 4, 0.9, 3)
+	rmat := RMAT(400, band.NNZ(), 0.57, 0.19, 0.19, 3)
+	if bv, rv := band.RowNNZVariation(), rmat.RowNNZVariation(); bv >= rv {
+		t.Fatalf("banded variation %.3f should be below rmat variation %.3f", bv, rv)
+	}
+}
+
+func TestRMATPowerLaw(t *testing.T) {
+	m := RMAT(1024, 8000, 0.57, 0.19, 0.19, 4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() < 6000 {
+		t.Fatalf("rmat too sparse: %d", m.NNZ())
+	}
+	// Power-law skew: the busiest decile of rows should hold well over a
+	// proportional share of the non-zeros.
+	rows := make([]int, m.Rows)
+	for i := range rows {
+		rows[i] = m.Ptr[i+1] - m.Ptr[i]
+	}
+	maxRow := 0
+	for _, n := range rows {
+		if n > maxRow {
+			maxRow = n
+		}
+	}
+	mean := float64(m.NNZ()) / float64(m.Rows)
+	if float64(maxRow) < 4*mean {
+		t.Fatalf("rmat max row %d not skewed vs mean %.1f", maxRow, mean)
+	}
+}
+
+func TestFrontierOneSourcePerRow(t *testing.T) {
+	f := Frontier(1000, 8, 5)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Rows != 8 || f.Cols != 1000 || f.NNZ() != 8 {
+		t.Fatalf("frontier %dx%d nnz=%d", f.Rows, f.Cols, f.NNZ())
+	}
+	for i := 0; i < f.Rows; i++ {
+		if f.Ptr[i+1]-f.Ptr[i] != 1 {
+			t.Fatalf("row %d has %d sources", i, f.Ptr[i+1]-f.Ptr[i])
+		}
+	}
+}
+
+func TestTensor3(t *testing.T) {
+	ten := Tensor3(40, 30, 20, 300, 6)
+	if err := ten.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ten.NNZ() < 250 || ten.NNZ() > 300 {
+		t.Fatalf("nnz = %d, want ~300", ten.NNZ())
+	}
+}
+
+func TestTensor3Clustered(t *testing.T) {
+	ten := Tensor3Clustered(60, 60, 60, 500, 4, 5, 7)
+	if err := ten.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ten.NNZ() == 0 {
+		t.Fatal("clustered tensor empty")
+	}
+	// Clustered tensors should occupy far fewer distinct i slices than a
+	// uniform tensor of the same occupancy.
+	uni := Tensor3(60, 60, 60, 500, 7)
+	if len(ten.RootCoords) >= len(uni.RootCoords) {
+		t.Fatalf("clustered slices %d not below uniform %d", len(ten.RootCoords), len(uni.RootCoords))
+	}
+}
+
+func TestGeneratorsValidQuick(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%50) + 10
+		if Uniform(n, n, n*2, seed).Validate() != nil {
+			return false
+		}
+		if Banded(n, 3, 2, 0.5, seed).Validate() != nil {
+			return false
+		}
+		return RMAT(n, n*2, 0.57, 0.19, 0.19, seed).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package kernels
+
+import (
+	"drt/internal/tensor"
+)
+
+// Gram computes G_il = Σ_jk χ_ijk · χ_ljk, the Tucker-decomposition
+// sub-routine of Sec. 5.1.2, directly on the CSF representation: for every
+// pair of i slices, matching (j, k) coordinates are intersected fiber by
+// fiber. The result is the symmetric I×I Gram matrix.
+func Gram(x *tensor.CSF3) (*tensor.CSR, Stats) {
+	var st Stats
+	out := tensor.NewCOO(x.I, x.I)
+	n := len(x.RootCoords)
+	for a := 0; a < n; a++ {
+		ia, alo, ahi := x.Slice(a)
+		for b := a; b < n; b++ {
+			ib, blo, bhi := x.Slice(b)
+			// Intersect the two slices' j fibers, then the k leaves.
+			var dot float64
+			var maccs int64
+			pa, pb := alo, blo
+			for pa < ahi && pb < bhi {
+				ja, jb := x.MidCoords[pa], x.MidCoords[pb]
+				switch {
+				case ja == jb:
+					v, s := tensor.Dot(x.LeafFiber(pa), x.LeafFiber(pb))
+					dot += v
+					maccs += int64(s.Matches)
+					pa++
+					pb++
+				case ja < jb:
+					pa++
+				default:
+					pb++
+				}
+			}
+			st.MACCs += maccs
+			if dot != 0 {
+				out.Append(ia, ib, dot)
+				if ia != ib {
+					out.Append(ib, ia, dot)
+					st.MACCs += maccs // symmetric pair counted once per output point
+				}
+			}
+		}
+	}
+	z := tensor.FromCOO(out)
+	st.OutputNNZ = int64(z.NNZ())
+	return z, st
+}
+
+// GramViaMatricize computes the same kernel as G = X·Xᵀ on the mode-1
+// matricization X of χ. It serves as a second, independent implementation
+// for cross-validation and is the path the accelerator simulators take
+// (SpMSpM machinery reused for higher-order kernels).
+func GramViaMatricize(x *tensor.CSF3) (*tensor.CSR, Stats) {
+	m := x.Matricize()
+	return Gustavson(m, m.Transpose())
+}

@@ -1,0 +1,83 @@
+package kernels
+
+import (
+	"sort"
+
+	"drt/internal/tensor"
+)
+
+// RestrictedGram computes the Gram task G_il = Σ_jk χ_ijk·χ_ljk restricted
+// to i∈iR, l∈lR, j∈jR, k∈kR, iterating ordered (i,l) pairs so that a task
+// partition of the (I,L,J,K) space sums exactly to the full kernel's
+// statistics (Gram counts each off-diagonal output point once per ordered
+// pair).
+func RestrictedGram(x *tensor.CSF3, iR, lR, jR, kR Range) TaskResult {
+	var res TaskResult
+	aLo, aHi := sliceRange(x, iR)
+	bLo, bHi := sliceRange(x, lR)
+	for a := aLo; a < aHi; a++ {
+		ia, amLo, amHi := x.Slice(a)
+		var rowMACCs int64
+		var rowOut int
+		var rowScan int
+		for b := bLo; b < bHi; b++ {
+			_, bmLo, bmHi := x.Slice(b)
+			maccs, scanned := gramPairWork(x, amLo, amHi, bmLo, bmHi, jR, kR)
+			rowMACCs += maccs
+			rowScan += scanned
+			if maccs > 0 {
+				rowOut++
+			}
+		}
+		if rowMACCs > 0 {
+			res.MACCs += rowMACCs
+			res.ScannedA += int64(rowScan)
+			res.OutputNNZ += int64(rowOut)
+			res.Rows = append(res.Rows, RowWork{Row: ia, MACCs: rowMACCs, AElems: rowScan, OutNNZ: rowOut})
+		}
+	}
+	return res
+}
+
+// sliceRange returns the root positions whose i coordinates fall in r.
+func sliceRange(x *tensor.CSF3, r Range) (lo, hi int) {
+	lo = sort.SearchInts(x.RootCoords, r.Lo)
+	hi = sort.SearchInts(x.RootCoords, r.Hi)
+	return lo, hi
+}
+
+// gramPairWork intersects two slices' (j, k) structures within the given
+// coordinate ranges, returning effectual MACCs and the number of
+// coordinates streamed (for the intersection cycle model).
+func gramPairWork(x *tensor.CSF3, amLo, amHi, bmLo, bmHi int, jR, kR Range) (maccs int64, scanned int) {
+	pa := amLo + sort.SearchInts(x.MidCoords[amLo:amHi], jR.Lo)
+	pb := bmLo + sort.SearchInts(x.MidCoords[bmLo:bmHi], jR.Lo)
+	for pa < amHi && pb < bmHi {
+		ja, jb := x.MidCoords[pa], x.MidCoords[pb]
+		if ja >= jR.Hi || jb >= jR.Hi {
+			break
+		}
+		switch {
+		case ja == jb:
+			fa := restrictFiber(x.LeafFiber(pa), kR)
+			fb := restrictFiber(x.LeafFiber(pb), kR)
+			st := tensor.Intersect(fa, fb, nil)
+			maccs += int64(st.Matches)
+			scanned += fa.Len() + fb.Len()
+			pa++
+			pb++
+		case ja < jb:
+			pa++
+		default:
+			pb++
+		}
+	}
+	return maccs, scanned
+}
+
+// restrictFiber returns the sub-fiber whose coordinates fall in r.
+func restrictFiber(f tensor.Fiber, r Range) tensor.Fiber {
+	lo := sort.SearchInts(f.Coords, r.Lo)
+	hi := sort.SearchInts(f.Coords, r.Hi)
+	return tensor.Fiber{Coords: f.Coords[lo:hi], Vals: f.Vals[lo:hi]}
+}

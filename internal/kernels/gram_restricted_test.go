@@ -1,0 +1,61 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"drt/internal/gen"
+)
+
+func TestRestrictedGramFullEqualsGram(t *testing.T) {
+	x := gen.Tensor3(14, 10, 12, 90, 1)
+	_, full := Gram(x)
+	r := RestrictedGram(x, Range{0, 14}, Range{0, 14}, Range{0, 10}, Range{0, 12})
+	if r.MACCs != full.MACCs {
+		t.Fatalf("restricted full-domain MACCs %d != %d", r.MACCs, full.MACCs)
+	}
+	if r.OutputNNZ != full.OutputNNZ {
+		t.Fatalf("restricted full-domain output %d != %d", r.OutputNNZ, full.OutputNNZ)
+	}
+}
+
+func TestRestrictedGramPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 12; trial++ {
+		di, dj, dk := rng.Intn(16)+4, rng.Intn(12)+4, rng.Intn(12)+4
+		x := gen.Tensor3(di, dj, dk, rng.Intn(120)+20, rng.Int63())
+		_, full := Gram(x)
+		ti := rng.Intn(di) + 1
+		tl := rng.Intn(di) + 1
+		tj := rng.Intn(dj) + 1
+		tk := rng.Intn(dk) + 1
+		var sum int64
+		for i0 := 0; i0 < di; i0 += ti {
+			for l0 := 0; l0 < di; l0 += tl {
+				for j0 := 0; j0 < dj; j0 += tj {
+					for k0 := 0; k0 < dk; k0 += tk {
+						r := RestrictedGram(x,
+							Range{i0, i0 + ti}, Range{l0, l0 + tl},
+							Range{j0, j0 + tj}, Range{k0, k0 + tk})
+						sum += r.MACCs
+					}
+				}
+			}
+		}
+		if sum != full.MACCs {
+			t.Fatalf("trial %d: gram partition covers %d MACCs, full %d", trial, sum, full.MACCs)
+		}
+	}
+}
+
+func TestRestrictedGramEmptyRanges(t *testing.T) {
+	x := gen.Tensor3(8, 8, 8, 40, 3)
+	r := RestrictedGram(x, Range{3, 3}, Range{0, 8}, Range{0, 8}, Range{0, 8})
+	if r.MACCs != 0 || len(r.Rows) != 0 {
+		t.Fatalf("empty i range did work: %+v", r)
+	}
+	r = RestrictedGram(x, Range{0, 8}, Range{0, 8}, Range{8, 8}, Range{0, 8})
+	if r.MACCs != 0 {
+		t.Fatalf("empty j range did work: %+v", r)
+	}
+}

@@ -1,0 +1,177 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"drt/internal/gen"
+	"drt/internal/tensor"
+)
+
+func TestGustavsonMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		m, k, n := rng.Intn(20)+1, rng.Intn(20)+1, rng.Intn(20)+1
+		a := gen.Uniform(m, k, m*k/3+1, rng.Int63())
+		b := gen.Uniform(k, n, k*n/3+1, rng.Int63())
+		z, _ := Gustavson(a, b)
+		if err := z.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want := a.ToDense().MatMul(b.ToDense())
+		if !z.ToDense().EqualApprox(want, 1e-9) {
+			t.Fatalf("trial %d: gustavson != dense", trial)
+		}
+	}
+}
+
+func TestThreeDataflowsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		m, k, n := rng.Intn(15)+1, rng.Intn(15)+1, rng.Intn(15)+1
+		a := gen.Uniform(m, k, m*k/2+1, rng.Int63())
+		b := gen.Uniform(k, n, k*n/2+1, rng.Int63())
+		zg, sg := Gustavson(a, b)
+		zi, si, _ := InnerProduct(a, b.Transpose())
+		zo, so, _ := OuterProduct(a.Transpose(), b)
+		if !zg.EqualApprox(zi, 1e-9) {
+			t.Fatalf("trial %d: inner != gustavson", trial)
+		}
+		if !zg.EqualApprox(zo, 1e-9) {
+			t.Fatalf("trial %d: outer != gustavson", trial)
+		}
+		// The paper: "A given workload has the same number of effectual
+		// MACCs across all accelerators."
+		if sg.MACCs != si.MACCs || sg.MACCs != so.MACCs {
+			t.Fatalf("trial %d: MACCs differ: %d %d %d", trial, sg.MACCs, si.MACCs, so.MACCs)
+		}
+		if want := EffectualMACCs(a.Transpose(), b); want != sg.MACCs {
+			t.Fatalf("trial %d: EffectualMACCs = %d, kernels = %d", trial, want, sg.MACCs)
+		}
+	}
+}
+
+func TestGustavsonIdentity(t *testing.T) {
+	n := 12
+	id := tensor.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		id.Append(i, i, 1)
+	}
+	eye := tensor.FromCOO(id)
+	a := gen.RMAT(n, 40, 0.57, 0.19, 0.19, 3)
+	z, st := Gustavson(a, eye)
+	if !z.EqualApprox(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	if st.MACCs != int64(a.NNZ()) {
+		t.Fatalf("A·I MACCs = %d, want %d", st.MACCs, a.NNZ())
+	}
+}
+
+// TestRestrictedPartition checks the core exactness property the
+// simulators rely on: summing RestrictedGustavson over any grid partition
+// of the (I,K,J) space reproduces the full kernel's MACC count.
+func TestRestrictedPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := rng.Intn(30)+2, rng.Intn(30)+2, rng.Intn(30)+2
+		a := gen.Uniform(m, k, m*k/2+1, rng.Int63())
+		b := gen.Uniform(k, n, k*n/2+1, rng.Int63())
+		_, full := Gustavson(a, b)
+
+		ti, tk, tj := rng.Intn(m)+1, rng.Intn(k)+1, rng.Intn(n)+1
+		spa := NewSPA(b.Cols)
+		var sum int64
+		for i0 := 0; i0 < m; i0 += ti {
+			for k0 := 0; k0 < k; k0 += tk {
+				for j0 := 0; j0 < n; j0 += tj {
+					r := RestrictedGustavson(a, b,
+						Range{i0, i0 + ti}, Range{k0, k0 + tk}, Range{j0, j0 + tj}, spa)
+					sum += r.MACCs
+				}
+			}
+		}
+		if sum != full.MACCs {
+			t.Fatalf("trial %d: partitioned MACCs %d != full %d (tiles %d,%d,%d)", trial, sum, full.MACCs, ti, tk, tj)
+		}
+	}
+}
+
+func TestRestrictedFullRangeEqualsFull(t *testing.T) {
+	a := gen.RMAT(64, 300, 0.57, 0.19, 0.19, 9)
+	b := gen.RMAT(64, 300, 0.57, 0.19, 0.19, 10)
+	_, full := Gustavson(a, b)
+	r := RestrictedGustavson(a, b, Range{0, 64}, Range{0, 64}, Range{0, 64}, nil)
+	if r.MACCs != full.MACCs {
+		t.Fatalf("restricted full-range MACCs %d != %d", r.MACCs, full.MACCs)
+	}
+	if r.OutputNNZ != full.OutputNNZ {
+		t.Fatalf("restricted full-range output %d != %d", r.OutputNNZ, full.OutputNNZ)
+	}
+}
+
+func TestSPA(t *testing.T) {
+	s := NewSPA(10)
+	s.Reset()
+	s.Add(5, 1)
+	s.Add(3, 2)
+	s.Add(5, 1)
+	cols, vals := s.Drain()
+	if len(cols) != 2 || cols[0] != 3 || cols[1] != 5 || vals[0] != 2 || vals[1] != 2 {
+		t.Fatalf("drain = %v %v", cols, vals)
+	}
+	s.Reset()
+	if s.Touched() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	s.Add(3, 7)
+	cols, vals = s.Drain()
+	if len(cols) != 1 || vals[0] != 7 {
+		t.Fatalf("stale value after reset: %v %v", cols, vals)
+	}
+}
+
+func TestGramMatchesMatricized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		x := gen.Tensor3(rng.Intn(12)+2, rng.Intn(12)+2, rng.Intn(12)+2, rng.Intn(80)+5, rng.Int63())
+		g1, s1 := Gram(x)
+		g2, s2 := GramViaMatricize(x)
+		if !g1.EqualApprox(g2, 1e-9) {
+			t.Fatalf("trial %d: direct Gram != matricized Gram", trial)
+		}
+		if s1.MACCs != s2.MACCs {
+			t.Fatalf("trial %d: Gram MACCs %d != matricized %d", trial, s1.MACCs, s2.MACCs)
+		}
+	}
+}
+
+func TestGramSymmetric(t *testing.T) {
+	x := gen.Tensor3(10, 8, 6, 60, 11)
+	g, _ := Gram(x)
+	if !g.EqualApprox(g.Transpose(), 1e-12) {
+		t.Fatal("Gram matrix not symmetric")
+	}
+	// Diagonal entries are squared norms: strictly positive for non-empty
+	// slices.
+	for r := range x.RootCoords {
+		i, _, _ := x.Slice(r)
+		if g.At(i, i) <= 0 {
+			t.Fatalf("diagonal (%d,%d) = %g, want > 0", i, i, g.At(i, i))
+		}
+	}
+}
+
+func TestEffectualMACCsQuick(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%20) + 2
+		a := gen.Uniform(n, n, n, seed)
+		b := gen.Uniform(n, n, n, seed+1)
+		_, st := Gustavson(a, b)
+		return EffectualMACCs(a.Transpose(), b) == st.MACCs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

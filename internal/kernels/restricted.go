@@ -1,0 +1,122 @@
+package kernels
+
+import (
+	"sort"
+
+	"drt/internal/tensor"
+)
+
+// Range is a half-open coordinate interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of coordinates in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Contains reports whether c lies in the range.
+func (r Range) Contains(c int) bool { return c >= r.Lo && c < r.Hi }
+
+// RowWork records the effectual work one output row contributes within a
+// task; the accelerator models round-robin rows across PEs and take the
+// maximum per-PE sum, so per-row granularity is what load balance needs.
+type RowWork struct {
+	Row    int
+	MACCs  int64
+	AElems int // A-row elements visited (intersection stream length)
+	OutNNZ int // distinct output columns touched
+}
+
+// TaskResult holds the exact outcome of one Einsum task (Sec. 3,
+// "Einsum task"): the partial-output points produced within the task's
+// coordinate ranges and the effectual work performed.
+type TaskResult struct {
+	MACCs     int64
+	ScannedA  int64 // total A elements visited (drives intersection cycles)
+	OutputNNZ int64 // distinct (i,j) partial-output points touched
+	Rows      []RowWork
+}
+
+// RestrictedGustavson computes the partial product of A·B limited to the
+// task ranges i∈iR, k∈kR, j∈jR (Equation 2 of the paper), returning exact
+// per-task MACC and partial-output counts. The union over a task partition
+// of the iteration space equals the full kernel, which the simulators rely
+// on for exact traffic accounting.
+//
+// The spa scratch buffers must have length ≥ b.Cols and are reused across
+// calls; pass nil to allocate fresh ones.
+func RestrictedGustavson(a, b *tensor.CSR, iR, kR, jR Range, spa *SPA) TaskResult {
+	if spa == nil {
+		spa = NewSPA(b.Cols)
+	}
+	var res TaskResult
+	for i := iR.Lo; i < iR.Hi && i < a.Rows; i++ {
+		if i < 0 {
+			continue
+		}
+		lo, hi := a.RowRange(i, kR.Lo, kR.Hi)
+		if lo == hi {
+			continue
+		}
+		spa.Reset()
+		var rowMACCs int64
+		for p := lo; p < hi; p++ {
+			k := a.Idx[p]
+			blo, bhi := b.RowRange(k, jR.Lo, jR.Hi)
+			rowMACCs += int64(bhi - blo)
+			for q := blo; q < bhi; q++ {
+				spa.Add(b.Idx[q], a.Val[p]*b.Val[q])
+			}
+		}
+		res.MACCs += rowMACCs
+		res.ScannedA += int64(hi - lo)
+		if n := spa.Touched(); n > 0 || rowMACCs > 0 {
+			res.OutputNNZ += int64(n)
+			res.Rows = append(res.Rows, RowWork{Row: i, MACCs: rowMACCs, AElems: hi - lo, OutNNZ: n})
+		}
+	}
+	return res
+}
+
+// SPA is a dense sparse accumulator with generation-counter clearing,
+// reused across tasks to avoid re-zeroing.
+type SPA struct {
+	acc  []float64
+	gen  []int
+	cur  int
+	cols []int
+}
+
+// NewSPA returns an accumulator covering column coordinates [0, width).
+func NewSPA(width int) *SPA {
+	return &SPA{acc: make([]float64, width), gen: make([]int, width)}
+}
+
+// Reset begins a new accumulation epoch in O(1).
+func (s *SPA) Reset() {
+	s.cur++
+	s.cols = s.cols[:0]
+}
+
+// Add accumulates v into column j.
+func (s *SPA) Add(j int, v float64) {
+	if s.gen[j] != s.cur {
+		s.gen[j] = s.cur
+		s.acc[j] = 0
+		s.cols = append(s.cols, j)
+	}
+	s.acc[j] += v
+}
+
+// Touched returns the number of distinct columns accumulated this epoch.
+func (s *SPA) Touched() int { return len(s.cols) }
+
+// Drain returns the sorted (column, value) pairs of the current epoch.
+func (s *SPA) Drain() ([]int, []float64) {
+	sort.Ints(s.cols)
+	vals := make([]float64, len(s.cols))
+	for p, j := range s.cols {
+		vals[p] = s.acc[j]
+	}
+	return s.cols, vals
+}

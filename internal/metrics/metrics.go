@@ -1,0 +1,171 @@
+// Package metrics provides the measurement vocabulary shared by all
+// experiments: per-tensor DRAM traffic ledgers, arithmetic intensity,
+// geometric means, and plain-text table rendering for the benchmark
+// harness output.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Traffic is a per-tensor DRAM byte ledger, the unit of Fig. 1's stacked
+// bars (A and B input reads, Z output writes and merge re-reads).
+type Traffic struct {
+	A, B, Z int64
+}
+
+// Total returns the aggregate bytes moved.
+func (t Traffic) Total() int64 { return t.A + t.B + t.Z }
+
+// Add accumulates another ledger.
+func (t *Traffic) Add(o Traffic) {
+	t.A += o.A
+	t.B += o.B
+	t.Z += o.Z
+}
+
+// ArithmeticIntensity returns effectual MACCs per byte of DRAM traffic,
+// the paper's headline metric (Sec. 5.1.1). Zero traffic yields +Inf.
+func ArithmeticIntensity(maccs, bytes int64) float64 {
+	if bytes == 0 {
+		return math.Inf(1)
+	}
+	return float64(maccs) / float64(bytes)
+}
+
+// Geomean returns the geometric mean of the inputs, ignoring non-positive
+// values (which would otherwise poison the log).
+func Geomean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Table renders experiment rows as an aligned plain-text table. It is
+// deliberately minimal: the benchmark harness prints the same rows/series
+// the paper's figures report, one table per figure.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with %.3g.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header row first).
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// GB converts bytes to gigabytes for display.
+func GB(bytes int64) float64 { return float64(bytes) / 1e9 }
+
+// MB converts bytes to megabytes for display.
+func MB(bytes int64) float64 { return float64(bytes) / 1e6 }
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

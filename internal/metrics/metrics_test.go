@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrafficTotalAdd(t *testing.T) {
+	a := Traffic{A: 1, B: 2, Z: 3}
+	b := Traffic{A: 10, B: 20, Z: 30}
+	a.Add(b)
+	if a.Total() != 66 {
+		t.Fatalf("total = %d, want 66", a.Total())
+	}
+}
+
+func TestArithmeticIntensity(t *testing.T) {
+	if ai := ArithmeticIntensity(100, 50); ai != 2 {
+		t.Fatalf("AI = %g, want 2", ai)
+	}
+	if !math.IsInf(ArithmeticIntensity(5, 0), 1) {
+		t.Fatal("zero traffic should be +Inf")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean(2,8) = %g, want 4", g)
+	}
+	if g := Geomean([]float64{5}); g < 4.999 || g > 5.001 {
+		t.Fatalf("geomean(5) = %g", g)
+	}
+	// Non-positive and non-finite values are skipped.
+	if g := Geomean([]float64{0, -1, math.Inf(1), 3}); g < 2.999 || g > 3.001 {
+		t.Fatalf("geomean with junk = %g, want 3", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %g, want 0", g)
+	}
+}
+
+func TestGeomeanBoundsQuick(t *testing.T) {
+	// The geometric mean lies between min and max of positive inputs.
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := Geomean(xs)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		return g >= mn-1e-9 && g <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %g, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %g, want 2.5", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Fatalf("empty median = %g", m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta-long-name", 42)
+	s := tb.String()
+	if !strings.Contains(s, "== Demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, "beta-long-name") || !strings.Contains(s, "1.5") {
+		t.Fatalf("missing cells:\n%s", s)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	// Columns align: every line reaches at least the widest header row.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestUnitHelpers(t *testing.T) {
+	if GB(2e9) != 2 {
+		t.Fatalf("GB = %g", GB(2e9))
+	}
+	if MB(3e6) != 3 {
+		t.Fatalf("MB = %g", MB(3e6))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("plain", 1.5)
+	tb.AddRow(`with,comma`, `with"quote`)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 || lines[0] != "a,b" {
+		t.Fatalf("csv = %q", csv)
+	}
+	if lines[2] != `"with,comma","with""quote"` {
+		t.Fatalf("quoting wrong: %q", lines[2])
+	}
+}

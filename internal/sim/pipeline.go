@@ -1,0 +1,160 @@
+package sim
+
+// Pipeline is a discrete-event model of the S-DOP task pipeline of
+// Sec. 4.2.3: each task passes through the Extract (Aggregate + metadata
+// build), Fetch (DRAM), and Compute stages. Stages are resources — one
+// task occupies a stage at a time — and the buffers are double-buffered,
+// so task i+1's extract/fetch may overlap task i's compute, but no stage
+// may run two tasks at once and a task cannot compute before it is
+// fetched.
+//
+// The phase-max model (Result.Cycles) is the steady-state limit of this
+// pipeline; the event model additionally exposes fill/drain and
+// imbalance effects, and is used by the pipeline ablation to check how
+// far the phase-max approximation sits from an explicit schedule.
+type Pipeline struct {
+	// free[s] is the time at which stage s next becomes available.
+	free [3]float64
+	// done is the completion time of the most recent task's compute.
+	done float64
+	// Busy accumulates per-stage occupied cycles for utilization stats.
+	Busy [3]float64
+	// Tasks counts tasks pushed through the pipeline.
+	Tasks int
+}
+
+// Pipeline stages in dependency order.
+const (
+	StageExtract = iota
+	StageFetch
+	StageCompute
+)
+
+// StageName returns a stage's display name.
+func StageName(s int) string {
+	switch s {
+	case StageExtract:
+		return "extract"
+	case StageFetch:
+		return "fetch"
+	case StageCompute:
+		return "compute"
+	}
+	return "unknown"
+}
+
+// Push schedules one task with the given per-stage durations and returns
+// its compute completion time. A zero-duration stage passes through
+// without occupying the resource.
+func (p *Pipeline) Push(extract, fetch, compute float64) float64 {
+	p.Tasks++
+	t := 0.0
+	for s, dur := range [3]float64{extract, fetch, compute} {
+		if dur < 0 {
+			dur = 0
+		}
+		start := t
+		if p.free[s] > start {
+			start = p.free[s]
+		}
+		end := start + dur
+		if dur > 0 {
+			p.free[s] = end
+			p.Busy[s] += dur
+		}
+		t = end
+	}
+	if t > p.done {
+		p.done = t
+	}
+	return t
+}
+
+// Makespan returns the completion time of the last task's compute.
+func (p *Pipeline) Makespan() float64 { return p.done }
+
+// Utilization returns each stage's busy fraction of the makespan.
+func (p *Pipeline) Utilization() [3]float64 {
+	var u [3]float64
+	if p.done == 0 {
+		return u
+	}
+	for s := range u {
+		u[s] = p.Busy[s] / p.done
+	}
+	return u
+}
+
+// DRAMQueue is a burst-level queueing model of the memory system (the
+// paper's "queuing models for the NoC, buffers, and DRAM — which ensure
+// data transfers are not allowed to exceed peak bandwidth"): requests
+// arrive as bursts, banks serve them in parallel, and each burst pays the
+// bank's service time. Bandwidth is capped at Banks bursts in flight; a
+// request stream that would exceed peak bandwidth queues.
+type DRAMQueue struct {
+	// BurstBytes is the transfer granularity (DRAM burst length × bus
+	// width; 64 B is a DDR4-type default).
+	BurstBytes int64
+	// ServiceCycles is the per-burst bank occupancy.
+	ServiceCycles float64
+	// Banks is the number of bursts servable in parallel.
+	Banks int
+
+	bankFree []float64
+	// TotalBytes accumulates the bytes transferred.
+	TotalBytes int64
+	last       float64
+}
+
+// NewDRAMQueue returns a queue sized so that peak bandwidth equals
+// machine bandwidth: Banks × BurstBytes / ServiceCycles bytes per cycle.
+func NewDRAMQueue(m Machine, banks int) *DRAMQueue {
+	if banks < 1 {
+		banks = 1
+	}
+	const burst = 64
+	bytesPerCycle := m.DRAMBandwidth / m.FreqHz
+	// service = banks × burst / bytesPerCycle keeps peak bandwidth equal
+	// to the machine's.
+	return &DRAMQueue{
+		BurstBytes:    burst,
+		ServiceCycles: float64(banks) * burst / bytesPerCycle,
+		Banks:         banks,
+		bankFree:      make([]float64, banks),
+	}
+}
+
+// Request enqueues a transfer of the given bytes arriving at the given
+// cycle and returns its completion cycle. Bursts are spread across banks
+// earliest-free-first.
+func (q *DRAMQueue) Request(arrival float64, bytes int64) float64 {
+	if bytes <= 0 {
+		return arrival
+	}
+	q.TotalBytes += bytes
+	bursts := (bytes + q.BurstBytes - 1) / q.BurstBytes
+	finish := arrival
+	for b := int64(0); b < bursts; b++ {
+		// Pick the earliest-free bank.
+		idx := 0
+		for i := 1; i < q.Banks; i++ {
+			if q.bankFree[i] < q.bankFree[idx] {
+				idx = i
+			}
+		}
+		start := arrival
+		if q.bankFree[idx] > start {
+			start = q.bankFree[idx]
+		}
+		end := start + q.ServiceCycles
+		q.bankFree[idx] = end
+		if end > finish {
+			finish = end
+		}
+	}
+	q.last = finish
+	return finish
+}
+
+// Drained returns the cycle at which all accepted requests complete.
+func (q *DRAMQueue) Drained() float64 { return q.last }

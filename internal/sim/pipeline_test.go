@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPipelineSingleTask(t *testing.T) {
+	var p Pipeline
+	end := p.Push(3, 5, 7)
+	if end != 15 {
+		t.Fatalf("single task end = %g, want 15 (serial fill)", end)
+	}
+	if p.Makespan() != 15 {
+		t.Fatalf("makespan %g", p.Makespan())
+	}
+}
+
+func TestPipelineSteadyStateIsBottleneckBound(t *testing.T) {
+	// With many identical tasks, throughput converges to the slowest
+	// stage: makespan → fill + N × max(stage).
+	var p Pipeline
+	const n = 1000
+	for i := 0; i < n; i++ {
+		p.Push(2, 5, 3)
+	}
+	want := float64(2+3) + n*5 // fill of the non-bottleneck stages + N × bottleneck
+	if m := p.Makespan(); m != want {
+		t.Fatalf("makespan = %g, want %g", m, want)
+	}
+	u := p.Utilization()
+	if u[StageFetch] < 0.99 {
+		t.Fatalf("bottleneck stage utilization %.3f, want ≈ 1", u[StageFetch])
+	}
+	if u[StageExtract] > 0.5 {
+		t.Fatalf("light stage utilization %.3f, want < 0.5", u[StageExtract])
+	}
+}
+
+func TestPipelineZeroStagesPassThrough(t *testing.T) {
+	var p Pipeline
+	p.Push(0, 0, 4)
+	p.Push(0, 0, 4)
+	if p.Makespan() != 8 {
+		t.Fatalf("compute-only pipeline makespan %g, want 8", p.Makespan())
+	}
+	if p.Busy[StageExtract] != 0 {
+		t.Fatal("zero-duration stage accumulated busy time")
+	}
+}
+
+// TestPipelineBoundsQuick: makespan is at least the phase-max bound and at
+// most the fully serial sum.
+func TestPipelineBoundsQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var p Pipeline
+		var sums [3]float64
+		var serial float64
+		for i := 0; i < int(n%40)+1; i++ {
+			d := [3]float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+			p.Push(d[0], d[1], d[2])
+			for s := range sums {
+				sums[s] += d[s]
+			}
+			serial += d[0] + d[1] + d[2]
+		}
+		phaseMax := sums[0]
+		for _, s := range sums[1:] {
+			if s > phaseMax {
+				phaseMax = s
+			}
+		}
+		m := p.Makespan()
+		return m >= phaseMax-1e-9 && m <= serial+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRAMQueuePeakBandwidth(t *testing.T) {
+	m := DefaultMachine()
+	q := NewDRAMQueue(m, 8)
+	// A single huge request completes no faster than peak bandwidth.
+	bytes := int64(1 << 20)
+	end := q.Request(0, bytes)
+	ideal := m.DRAMCycles(bytes)
+	if end < ideal*0.999 {
+		t.Fatalf("queue beat peak bandwidth: %g < %g", end, ideal)
+	}
+	// And within ~one service slot of ideal for an aligned request.
+	if end > ideal+q.ServiceCycles*float64(q.Banks) {
+		t.Fatalf("queue far from peak: %g vs %g", end, ideal)
+	}
+}
+
+func TestDRAMQueueSerializesContention(t *testing.T) {
+	m := DefaultMachine()
+	q := NewDRAMQueue(m, 4)
+	// Two overlapping requests take about twice one request's time.
+	e1 := q.Request(0, 64<<10)
+	e2 := q.Request(0, 64<<10)
+	if e2 < e1 {
+		t.Fatal("later-enqueued request finished first")
+	}
+	if e2 < m.DRAMCycles(128<<10)*0.999 {
+		t.Fatalf("contention not serialized: %g < %g", e2, m.DRAMCycles(128<<10))
+	}
+}
+
+func TestDRAMQueueIdleGap(t *testing.T) {
+	m := DefaultMachine()
+	q := NewDRAMQueue(m, 4)
+	q.Request(0, 6400)
+	// A request arriving long after the first drains starts fresh.
+	late := q.Request(1e9, 6400)
+	if late < 1e9 {
+		t.Fatal("request completed before its arrival")
+	}
+	if late > 1e9+m.DRAMCycles(6400)+q.ServiceCycles*4 {
+		t.Fatalf("idle queue still delayed the request: %g", late)
+	}
+}
+
+func TestDRAMQueueZeroBytes(t *testing.T) {
+	q := NewDRAMQueue(DefaultMachine(), 2)
+	if end := q.Request(5, 0); end != 5 {
+		t.Fatalf("zero-byte request took time: %g", end)
+	}
+	if q.TotalBytes != 0 {
+		t.Fatal("zero-byte request counted bytes")
+	}
+}

@@ -1,0 +1,238 @@
+// Package sim provides the shared accelerator-modeling substrate: machine
+// configurations (clock, DRAM bandwidth, buffer sizes, PE counts),
+// intersection-unit cycle models, PE load-balance accounting, and the
+// phase-overlap runtime composition the paper's pipelined designs rely on
+// (Sec. 4.2.3: tile building, distribution and compute overlap, so steady
+// state runtime is the maximum of the phase totals).
+package sim
+
+import (
+	"fmt"
+
+	"drt/internal/kernels"
+	"drt/internal/metrics"
+)
+
+// Machine describes the accelerator and memory system, normalized to the
+// paper's CPU-matched configuration (Sec. 5.2.1).
+type Machine struct {
+	FreqHz        float64 // on-chip clock (1 GHz)
+	DRAMBandwidth float64 // bytes/second (matches the CPU's 68.25 GB/s)
+	DRAMLatency   float64 // per-request access latency in cycles
+	PEs           int     // processing elements (128)
+	GlobalBuffer  int64   // LLB bytes (30 MB)
+	PEBuffer      int64   // local buffer bytes per PE (32 KB)
+	NoCBandwidth  float64 // on-chip bytes/second (Sec. 6.6: not a bottleneck)
+}
+
+// DefaultMachine is the normalized accelerator configuration of Sec. 5.2.1.
+func DefaultMachine() Machine {
+	return Machine{
+		FreqHz:        1e9,
+		DRAMBandwidth: 68.25e9,
+		DRAMLatency:   60,
+		PEs:           128,
+		GlobalBuffer:  30 << 20,
+		PEBuffer:      32 << 10,
+		NoCBandwidth:  1024e9,
+	}
+}
+
+// DRAMCycles converts a byte count into clock cycles at the machine's
+// memory bandwidth.
+func (m Machine) DRAMCycles(bytes int64) float64 {
+	return float64(bytes) / m.DRAMBandwidth * m.FreqHz
+}
+
+// Seconds converts cycles to wall-clock time.
+func (m Machine) Seconds(cycles float64) float64 { return cycles / m.FreqHz }
+
+// Partition splits a buffer across the A, B and output tensors by the
+// given fractions (Sec. 5.2.4's static split, e.g. 5%/45%/50%).
+type Partition struct {
+	AFrac, BFrac, OFrac float64
+}
+
+// DefaultPartition is the configuration-time split used for all workloads
+// unless an experiment sweeps it (Fig. 14 found small-A/large-B best).
+func DefaultPartition() Partition { return Partition{AFrac: 0.10, BFrac: 0.45, OFrac: 0.45} }
+
+// Split returns the byte capacities of each partition of a buffer.
+func (p Partition) Split(buffer int64) (capA, capB, capO int64) {
+	capA = int64(float64(buffer) * p.AFrac)
+	capB = int64(float64(buffer) * p.BFrac)
+	capO = int64(float64(buffer) * p.OFrac)
+	if capA < 1 {
+		capA = 1
+	}
+	if capB < 1 {
+		capB = 1
+	}
+	if capO < 1 {
+		capO = 1
+	}
+	return capA, capB, capO
+}
+
+// Validate rejects non-physical partitions.
+func (p Partition) Validate() error {
+	if p.AFrac < 0 || p.BFrac < 0 || p.OFrac < 0 || p.AFrac+p.BFrac+p.OFrac > 1.0001 {
+		return fmt.Errorf("sim: partition fractions %.2f/%.2f/%.2f invalid", p.AFrac, p.BFrac, p.OFrac)
+	}
+	return nil
+}
+
+// IntersectKind selects the intersection-unit microarchitecture of the
+// Fig. 12 bandwidth-scaling study.
+type IntersectKind int
+
+const (
+	// SkipBased is ExTensor's serial skip-based unit: one coordinate
+	// comparison per cycle; every streamed coordinate costs a cycle.
+	SkipBased IntersectKind = iota
+	// Parallel compares P coordinates per cycle (the paper's parallelized
+	// variant with P = 32); MACC issue remains one per cycle.
+	Parallel
+	// SerialOptimal is the oracle unit: one MACC per cycle per PE
+	// regardless of sparsity pattern.
+	SerialOptimal
+)
+
+// String returns the unit's name as used in Fig. 12.
+func (k IntersectKind) String() string {
+	switch k {
+	case SkipBased:
+		return "Skip-Based"
+	case Parallel:
+		return "Parallel"
+	case SerialOptimal:
+		return "Serial-Optimal"
+	}
+	return fmt.Sprintf("IntersectKind(%d)", int(k))
+}
+
+// IntersectWidth is the P-wide comparator width of the Parallel unit.
+const IntersectWidth = 32
+
+// ComputeCycles converts one output row's work into PE cycles under the
+// given intersection unit. scanned is the number of operand coordinates
+// streamed through the unit (misses included), maccs the effectual
+// multiplies.
+func ComputeCycles(kind IntersectKind, scanned, maccs int64) float64 {
+	switch kind {
+	case SkipBased:
+		// Each streamed coordinate occupies the serial comparator for a
+		// cycle; matched coordinates issue their MACC in the same slot.
+		return float64(scanned + maccs)
+	case Parallel:
+		cmp := float64(scanned+maccs) / IntersectWidth
+		if m := float64(maccs); m > cmp {
+			return m
+		}
+		return cmp
+	case SerialOptimal:
+		return float64(maccs)
+	}
+	panic("sim: unknown intersection kind")
+}
+
+// PEArray models round-robin task distribution across PEs (Sec. 6.2 "we
+// use a round-robin distributor... can lead to poor load balancing"): work
+// items are dealt to PEs in arrival order and the array's finish time is
+// the maximum per-PE sum.
+type PEArray struct {
+	busy []float64
+	next int
+}
+
+// NewPEArray returns an array of n idle PEs.
+func NewPEArray(n int) *PEArray {
+	if n < 1 {
+		n = 1
+	}
+	return &PEArray{busy: make([]float64, n)}
+}
+
+// Assign deals one work item of the given cycle cost to the next PE.
+func (p *PEArray) Assign(cycles float64) {
+	p.busy[p.next] += cycles
+	p.next = (p.next + 1) % len(p.busy)
+}
+
+// MaxBusy returns the busiest PE's total cycles — the array's finish time.
+func (p *PEArray) MaxBusy() float64 {
+	var m float64
+	for _, b := range p.busy {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// MeanBusy returns the average per-PE cycles, the perfectly balanced bound.
+func (p *PEArray) MeanBusy() float64 {
+	var s float64
+	for _, b := range p.busy {
+		s += b
+	}
+	return s / float64(len(p.busy))
+}
+
+// RowWorkCycles converts a task's per-row work into the PE assignment
+// stream, returning each row's compute cycles under the intersection unit.
+func RowWorkCycles(kind IntersectKind, rows []kernels.RowWork) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = ComputeCycles(kind, int64(r.AElems)+r.MACCs, r.MACCs)
+	}
+	return out
+}
+
+// Result is the outcome of simulating one workload on one accelerator
+// configuration.
+type Result struct {
+	Name    string
+	Traffic metrics.Traffic
+	MACCs   int64
+
+	DRAMCycles    float64 // memory-phase total
+	ComputeCycles float64 // PE-phase total (max PE)
+	ExtractCycles float64 // tile-extraction phase total
+	// PipelineCyclesExact is the event-driven makespan of the
+	// extract→fetch→compute pipeline (Sec. 4.2.3's double-buffered
+	// overlap modeled explicitly, with per-request DRAM latency and
+	// mean per-task compute occupancy). The pipeline ablation reports
+	// its gap from the phase-max model Cycles() uses.
+	PipelineCyclesExact float64
+	Tasks               int
+	EmptyTasks          int
+	Overflows           int
+
+	// Energy action counts, consumed by internal/energy.
+	BufferAccessBytes int64
+	NoCBytes          int64
+	IntersectOps      int64
+}
+
+// Cycles returns the modeled runtime: the phases are pipelined
+// (Sec. 4.2.3), so steady-state runtime is the maximum phase total.
+func (r Result) Cycles() float64 {
+	c := r.DRAMCycles
+	if r.ComputeCycles > c {
+		c = r.ComputeCycles
+	}
+	if r.ExtractCycles > c {
+		c = r.ExtractCycles
+	}
+	return c
+}
+
+// AI returns the workload's arithmetic intensity on this configuration.
+func (r Result) AI() float64 {
+	return metrics.ArithmeticIntensity(r.MACCs, r.Traffic.Total())
+}
+
+// DRAMBoundCycles returns the memory-roofline runtime — the red dots of
+// Figs. 6–10: the best achievable given this configuration's traffic.
+func (r Result) DRAMBoundCycles() float64 { return r.DRAMCycles }

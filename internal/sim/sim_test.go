@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"drt/internal/kernels"
+)
+
+func TestDRAMCycles(t *testing.T) {
+	m := DefaultMachine()
+	// At 68.25 GB/s and 1 GHz, 68.25 bytes move per cycle.
+	cycles := m.DRAMCycles(68250)
+	if cycles < 999 || cycles > 1001 {
+		t.Fatalf("DRAMCycles(68250) = %g, want ~1000", cycles)
+	}
+	if s := m.Seconds(1e9); s != 1 {
+		t.Fatalf("Seconds(1e9) = %g, want 1", s)
+	}
+}
+
+func TestPartitionSplit(t *testing.T) {
+	p := Partition{AFrac: 0.1, BFrac: 0.45, OFrac: 0.45}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, b, o := p.Split(1000)
+	if a != 100 || b != 450 || o != 450 {
+		t.Fatalf("split = %d/%d/%d", a, b, o)
+	}
+	bad := Partition{AFrac: 0.9, BFrac: 0.9}
+	if bad.Validate() == nil {
+		t.Fatal("oversubscribed partition accepted")
+	}
+}
+
+func TestComputeCyclesOrdering(t *testing.T) {
+	// For any sparse workload: skip-based ≥ parallel ≥ serial-optimal.
+	cases := []struct{ scanned, maccs int64 }{
+		{100, 10}, {1000, 1000}, {5, 0}, {0, 0}, {64, 2},
+	}
+	for _, c := range cases {
+		skip := ComputeCycles(SkipBased, c.scanned, c.maccs)
+		par := ComputeCycles(Parallel, c.scanned, c.maccs)
+		opt := ComputeCycles(SerialOptimal, c.scanned, c.maccs)
+		if skip < par || par < opt {
+			t.Fatalf("ordering violated for %+v: skip=%g par=%g opt=%g", c, skip, par, opt)
+		}
+		if opt != float64(c.maccs) {
+			t.Fatalf("serial-optimal = %g, want %d", opt, c.maccs)
+		}
+	}
+}
+
+func TestPEArrayRoundRobin(t *testing.T) {
+	pe := NewPEArray(4)
+	for i := 0; i < 8; i++ {
+		pe.Assign(10)
+	}
+	if pe.MaxBusy() != 20 || pe.MeanBusy() != 20 {
+		t.Fatalf("balanced load: max %g mean %g, want 20/20", pe.MaxBusy(), pe.MeanBusy())
+	}
+	// Skewed: one huge item lands on PE 0.
+	pe2 := NewPEArray(4)
+	pe2.Assign(100)
+	pe2.Assign(1)
+	if pe2.MaxBusy() != 100 {
+		t.Fatalf("max busy %g, want 100", pe2.MaxBusy())
+	}
+	if pe2.MeanBusy() >= pe2.MaxBusy() {
+		t.Fatal("mean must be below max under imbalance")
+	}
+}
+
+func TestRowWorkCycles(t *testing.T) {
+	rows := []kernels.RowWork{
+		{Row: 0, MACCs: 10, AElems: 5},
+		{Row: 1, MACCs: 0, AElems: 3},
+	}
+	c := RowWorkCycles(SerialOptimal, rows)
+	if len(c) != 2 || c[0] != 10 || c[1] != 0 {
+		t.Fatalf("serial-optimal row cycles = %v", c)
+	}
+	c = RowWorkCycles(SkipBased, rows)
+	if c[0] != 25 || c[1] != 3 {
+		t.Fatalf("skip-based row cycles = %v", c)
+	}
+}
+
+func TestResultCyclesIsPhaseMax(t *testing.T) {
+	r := Result{DRAMCycles: 100, ComputeCycles: 250, ExtractCycles: 30}
+	if r.Cycles() != 250 {
+		t.Fatalf("Cycles = %g, want 250 (compute-bound)", r.Cycles())
+	}
+	r.DRAMCycles = 400
+	if r.Cycles() != 400 {
+		t.Fatalf("Cycles = %g, want 400 (memory-bound)", r.Cycles())
+	}
+	if r.DRAMBoundCycles() != 400 {
+		t.Fatal("DRAM-bound cycles must equal the memory phase")
+	}
+}

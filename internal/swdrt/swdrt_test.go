@@ -1,0 +1,75 @@
+package swdrt
+
+import (
+	"testing"
+
+	"drt/internal/accel"
+	"drt/internal/gen"
+)
+
+func TestSoftwareStudyOrdering(t *testing.T) {
+	// Fig. 11: for unstructured workloads DRT consistently outperforms
+	// S-U-C, and both beat untiled.
+	a := gen.RMAT(512, 12000, 0.57, 0.19, 0.19, 1)
+	b := gen.RMAT(512, 12000, 0.57, 0.19, 0.19, 2)
+	w, err := accel.NewWorkload("rmat", a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.LLCBytes = 128 << 10 // scale the cache to the scaled matrices
+	s, err := Run(w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UntiledBytes <= 0 || s.SUCBytes <= 0 || s.DNCBytes <= 0 {
+		t.Fatalf("degenerate study: %+v", s)
+	}
+	if s.DNCImprovement() <= 1 {
+		t.Fatalf("DRT improvement %.2fx not above 1", s.DNCImprovement())
+	}
+	if s.DNCImprovement() <= s.SUCImprovement() {
+		t.Fatalf("DRT improvement %.2fx not above SUC %.2fx", s.DNCImprovement(), s.SUCImprovement())
+	}
+}
+
+func TestDiamondDensityNarrowsGap(t *testing.T) {
+	// Sec. 6.3: for diamond (banded) matrices the S-U-C/DRT gap narrows
+	// as density rises, because dense tiles are exactly what static
+	// tiling provisions for.
+	gap := func(fill float64) float64 {
+		a := gen.Banded(512, 24, 4, fill, 3)
+		w, err := accel.NewWorkload("band", a, a, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.LLCBytes = 128 << 10
+		s, err := Run(w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.DNCImprovement() / s.SUCImprovement()
+	}
+	sparse, dense := gap(0.08), gap(0.9)
+	if dense > sparse {
+		t.Fatalf("gap should narrow with density: sparse %.2f, dense %.2f", sparse, dense)
+	}
+}
+
+func TestResidentWorkloadNeedsNoTiling(t *testing.T) {
+	// When both operands fit in the LLC, tiled traffic approaches the
+	// untiled one-pass bound and improvement saturates near ~1×+.
+	a := gen.Uniform(128, 128, 800, 5)
+	w, err := accel.NewWorkload("tiny", a, a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(w, DefaultOptions()) // 30 MB LLC dwarfs the workload
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DNCBytes > s.UntiledBytes {
+		t.Fatalf("resident DRT traffic %d exceeds untiled %d", s.DNCBytes, s.UntiledBytes)
+	}
+}

@@ -1,0 +1,62 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-list matrix: parallel slices of row indices, column
+// indices and values. It is the interchange format used by the generators;
+// duplicate points are summed when converting to a compressed format.
+type COO struct {
+	Rows, Cols int
+	I, J       []int
+	V          []float64
+}
+
+// NewCOO returns an empty COO matrix with the given shape.
+func NewCOO(rows, cols int) *COO {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", rows, cols))
+	}
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Append adds one (i, j, v) triple. Indices are validated eagerly so that a
+// bad generator fails at the insertion site rather than at conversion time.
+func (m *COO) Append(i, j int, v float64) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: point (%d,%d) outside %dx%d", i, j, m.Rows, m.Cols))
+	}
+	m.I = append(m.I, i)
+	m.J = append(m.J, j)
+	m.V = append(m.V, v)
+}
+
+// Len returns the number of stored triples (before deduplication).
+func (m *COO) Len() int { return len(m.I) }
+
+// sortRowMajor orders triples by (row, col).
+func (m *COO) sortRowMajor() {
+	sort.Sort(cooRowMajor{m})
+}
+
+type cooRowMajor struct{ m *COO }
+
+func (s cooRowMajor) Len() int { return len(s.m.I) }
+func (s cooRowMajor) Less(a, b int) bool {
+	m := s.m
+	if m.I[a] != m.I[b] {
+		return m.I[a] < m.I[b]
+	}
+	return m.J[a] < m.J[b]
+}
+func (s cooRowMajor) Swap(a, b int) {
+	m := s.m
+	m.I[a], m.I[b] = m.I[b], m.I[a]
+	m.J[a], m.J[b] = m.J[b], m.J[a]
+	m.V[a], m.V[b] = m.V[b], m.V[a]
+}
+
+// Footprint returns the modeled byte footprint of the coordinate list.
+func (m *COO) Footprint() int64 { return FootprintCOO(2, m.Len()) }

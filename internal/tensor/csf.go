@@ -1,0 +1,209 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO3 is a coordinate list for 3-tensors, the interchange format for the
+// higher-order (Gram) kernels.
+type COO3 struct {
+	I, J, K    int // dimension sizes
+	Is, Js, Ks []int
+	V          []float64
+}
+
+// NewCOO3 returns an empty coordinate list with the given shape.
+func NewCOO3(i, j, k int) *COO3 {
+	if i < 0 || j < 0 || k < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%dx%d", i, j, k))
+	}
+	return &COO3{I: i, J: j, K: k}
+}
+
+// Append adds one (i, j, k, v) quadruple.
+func (t *COO3) Append(i, j, k int, v float64) {
+	if i < 0 || i >= t.I || j < 0 || j >= t.J || k < 0 || k >= t.K {
+		panic(fmt.Sprintf("tensor: point (%d,%d,%d) outside %dx%dx%d", i, j, k, t.I, t.J, t.K))
+	}
+	t.Is = append(t.Is, i)
+	t.Js = append(t.Js, j)
+	t.Ks = append(t.Ks, k)
+	t.V = append(t.V, v)
+}
+
+// Len returns the number of stored quadruples.
+func (t *COO3) Len() int { return len(t.Is) }
+
+type coo3Sort struct{ t *COO3 }
+
+func (s coo3Sort) Len() int { return s.t.Len() }
+func (s coo3Sort) Less(a, b int) bool {
+	t := s.t
+	if t.Is[a] != t.Is[b] {
+		return t.Is[a] < t.Is[b]
+	}
+	if t.Js[a] != t.Js[b] {
+		return t.Js[a] < t.Js[b]
+	}
+	return t.Ks[a] < t.Ks[b]
+}
+func (s coo3Sort) Swap(a, b int) {
+	t := s.t
+	t.Is[a], t.Is[b] = t.Is[b], t.Is[a]
+	t.Js[a], t.Js[b] = t.Js[b], t.Js[a]
+	t.Ks[a], t.Ks[b] = t.Ks[b], t.Ks[a]
+	t.V[a], t.V[b] = t.V[b], t.V[a]
+}
+
+// CSF3 is a three-level compressed sparse fiber tensor (T-CCC): a fibertree
+// with an i-level root fiber, j-level mid fibers and k-level leaf fibers.
+// Root fiber r spans RootPtr[r]..RootPtr[r+1] positions of the mid level;
+// mid position m spans MidPtr[m]..MidPtr[m+1] positions of the leaf level.
+type CSF3 struct {
+	I, J, K    int
+	RootCoords []int // i coordinates of non-empty slices
+	RootPtr    []int // len(RootCoords)+1
+	MidCoords  []int // j coordinates
+	MidPtr     []int // len(MidCoords)+1
+	LeafCoords []int // k coordinates
+	Vals       []float64
+}
+
+// FromCOO3 compresses a coordinate list into CSF (i→j→k order), summing
+// duplicates. The input is sorted in place.
+func FromCOO3(t *COO3) *CSF3 {
+	sort.Sort(coo3Sort{t})
+	c := &CSF3{I: t.I, J: t.J, K: t.K, RootPtr: []int{0}, MidPtr: []int{0}}
+	lastI, lastJ := -1, -1
+	for p := 0; p < t.Len(); {
+		i, j, k := t.Is[p], t.Js[p], t.Ks[p]
+		v := t.V[p]
+		p++
+		for p < t.Len() && t.Is[p] == i && t.Js[p] == j && t.Ks[p] == k {
+			v += t.V[p]
+			p++
+		}
+		if v == 0 {
+			continue
+		}
+		if i != lastI {
+			// Open a new i slice; its segment entry is patched as mid
+			// fibers are appended below.
+			c.RootCoords = append(c.RootCoords, i)
+			c.RootPtr = append(c.RootPtr, len(c.MidCoords))
+			lastI, lastJ = i, -1
+		}
+		if j != lastJ {
+			c.MidCoords = append(c.MidCoords, j)
+			c.MidPtr = append(c.MidPtr, len(c.LeafCoords))
+			lastJ = j
+		}
+		c.LeafCoords = append(c.LeafCoords, k)
+		c.Vals = append(c.Vals, v)
+		c.RootPtr[len(c.RootPtr)-1] = len(c.MidCoords)
+		c.MidPtr[len(c.MidPtr)-1] = len(c.LeafCoords)
+	}
+	return c
+}
+
+// NNZ returns the number of stored non-zeros.
+func (c *CSF3) NNZ() int { return len(c.LeafCoords) }
+
+// Density returns the fraction of the I×J×K space that is non-zero.
+func (c *CSF3) Density() float64 {
+	vol := float64(c.I) * float64(c.J) * float64(c.K)
+	if vol == 0 {
+		return 0
+	}
+	return float64(c.NNZ()) / vol
+}
+
+// Footprint returns the modeled byte footprint: all coordinate and segment
+// arrays at MetaBytes per word plus the values.
+func (c *CSF3) Footprint() int64 {
+	meta := len(c.RootCoords) + len(c.RootPtr) + len(c.MidCoords) + len(c.MidPtr) + len(c.LeafCoords)
+	return int64(meta)*MetaBytes + int64(len(c.Vals))*ValueBytes
+}
+
+// Slice returns, for root position r, the i coordinate and the mid-level
+// position range [lo, hi) of its j fibers.
+func (c *CSF3) Slice(r int) (i, lo, hi int) {
+	return c.RootCoords[r], c.RootPtr[r], c.RootPtr[r+1]
+}
+
+// LeafFiber returns the k-level fiber at mid position m.
+func (c *CSF3) LeafFiber(m int) Fiber {
+	lo, hi := c.MidPtr[m], c.MidPtr[m+1]
+	return Fiber{Coords: c.LeafCoords[lo:hi], Vals: c.Vals[lo:hi]}
+}
+
+// Matricize flattens the tensor into an I × (J·K) CSR matrix with column
+// coordinate j·K + k. The Gram kernel G = χ_(1) · χ_(1)ᵀ is SpMSpM on this
+// mode-1 matricization, which is how the higher-order experiments feed the
+// same DRT machinery as SpMSpM.
+func (c *CSF3) Matricize() *CSR {
+	m := NewCOO(c.I, c.J*c.K)
+	for r := 0; r < len(c.RootCoords); r++ {
+		i, lo, hi := c.Slice(r)
+		for mpos := lo; mpos < hi; mpos++ {
+			j := c.MidCoords[mpos]
+			f := c.LeafFiber(mpos)
+			for p, k := range f.Coords {
+				m.Append(i, j*c.K+k, f.Vals[p])
+			}
+		}
+	}
+	return FromCOO(m)
+}
+
+// ToCOO3 expands the tensor back into a coordinate list.
+func (c *CSF3) ToCOO3() *COO3 {
+	t := NewCOO3(c.I, c.J, c.K)
+	for r := 0; r < len(c.RootCoords); r++ {
+		i, lo, hi := c.Slice(r)
+		for m := lo; m < hi; m++ {
+			j := c.MidCoords[m]
+			f := c.LeafFiber(m)
+			for p, k := range f.Coords {
+				t.Append(i, j, k, f.Vals[p])
+			}
+		}
+	}
+	return t
+}
+
+// Validate checks the structural invariants of the fibertree.
+func (c *CSF3) Validate() error {
+	if len(c.RootPtr) != len(c.RootCoords)+1 || len(c.MidPtr) != len(c.MidCoords)+1 {
+		return fmt.Errorf("tensor: csf segment array lengths inconsistent")
+	}
+	if c.RootPtr[len(c.RootPtr)-1] != len(c.MidCoords) {
+		return fmt.Errorf("tensor: csf root level does not cover mid level")
+	}
+	if c.MidPtr[len(c.MidPtr)-1] != len(c.LeafCoords) {
+		return fmt.Errorf("tensor: csf mid level does not cover leaf level")
+	}
+	for r := 0; r < len(c.RootCoords); r++ {
+		if r > 0 && c.RootCoords[r] <= c.RootCoords[r-1] {
+			return fmt.Errorf("tensor: csf root coordinates not increasing at %d", r)
+		}
+		if c.RootPtr[r] >= c.RootPtr[r+1] {
+			return fmt.Errorf("tensor: csf empty slice at root position %d", r)
+		}
+		for m := c.RootPtr[r]; m < c.RootPtr[r+1]; m++ {
+			if m > c.RootPtr[r] && c.MidCoords[m] <= c.MidCoords[m-1] {
+				return fmt.Errorf("tensor: csf mid coordinates not increasing at %d", m)
+			}
+			if c.MidPtr[m] >= c.MidPtr[m+1] {
+				return fmt.Errorf("tensor: csf empty fiber at mid position %d", m)
+			}
+			for p := c.MidPtr[m]; p < c.MidPtr[m+1]; p++ {
+				if p > c.MidPtr[m] && c.LeafCoords[p] <= c.LeafCoords[p-1] {
+					return fmt.Errorf("tensor: csf leaf coordinates not increasing at %d", p)
+				}
+			}
+		}
+	}
+	return nil
+}

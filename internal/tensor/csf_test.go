@@ -1,0 +1,121 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomCOO3(rng *rand.Rand, i, j, k, nnz int) *COO3 {
+	t := NewCOO3(i, j, k)
+	for n := 0; n < nnz; n++ {
+		t.Append(rng.Intn(i), rng.Intn(j), rng.Intn(k), float64(rng.Intn(5)+1))
+	}
+	return t
+}
+
+func TestCSF3Small(t *testing.T) {
+	c3 := NewCOO3(2, 2, 3)
+	c3.Append(0, 1, 2, 5)
+	c3.Append(0, 1, 0, 3)
+	c3.Append(1, 0, 1, 7)
+	csf := FromCOO3(c3)
+	if err := csf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if csf.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", csf.NNZ())
+	}
+	if len(csf.RootCoords) != 2 || csf.RootCoords[0] != 0 || csf.RootCoords[1] != 1 {
+		t.Fatalf("RootCoords = %v", csf.RootCoords)
+	}
+	if len(csf.MidCoords) != 2 {
+		t.Fatalf("MidCoords = %v, want two fibers", csf.MidCoords)
+	}
+	// Slice i=0 has one j fiber (j=1) with leaves k=0,2.
+	_, lo, hi := csf.Slice(0)
+	if hi-lo != 1 {
+		t.Fatalf("slice 0 has %d fibers, want 1", hi-lo)
+	}
+	f := csf.LeafFiber(lo)
+	if f.Len() != 2 || f.Coords[0] != 0 || f.Coords[1] != 2 || f.Vals[0] != 3 || f.Vals[1] != 5 {
+		t.Fatalf("leaf fiber = %+v", f)
+	}
+}
+
+func TestCSF3DuplicateAndZero(t *testing.T) {
+	c3 := NewCOO3(2, 2, 2)
+	c3.Append(0, 0, 0, 2)
+	c3.Append(0, 0, 0, 3)
+	c3.Append(1, 1, 1, 1)
+	c3.Append(1, 1, 1, -1) // cancels
+	csf := FromCOO3(c3)
+	if csf.NNZ() != 1 || csf.Vals[0] != 5 {
+		t.Fatalf("csf = %+v, want single value 5", csf)
+	}
+	if err := csf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSF3RoundTripQuick(t *testing.T) {
+	f := func(seed int64, nnz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := FromCOO3(randomCOO3(rng, 8, 9, 10, int(nnz)))
+		if orig.Validate() != nil {
+			return false
+		}
+		back := FromCOO3(orig.ToCOO3())
+		if back.NNZ() != orig.NNZ() {
+			return false
+		}
+		for p := range orig.LeafCoords {
+			if orig.LeafCoords[p] != back.LeafCoords[p] || orig.Vals[p] != back.Vals[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatricize(t *testing.T) {
+	c3 := NewCOO3(2, 3, 4)
+	c3.Append(0, 1, 2, 5) // column 1*4+2 = 6
+	c3.Append(1, 2, 3, 7) // column 2*4+3 = 11
+	m := FromCOO3(c3).Matricize()
+	if m.Rows != 2 || m.Cols != 12 {
+		t.Fatalf("matricized shape %dx%d, want 2x12", m.Rows, m.Cols)
+	}
+	if m.At(0, 6) != 5 || m.At(1, 11) != 7 {
+		t.Fatalf("matricized values wrong: %v %v", m.At(0, 6), m.At(1, 11))
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("matricized nnz = %d, want 2", m.NNZ())
+	}
+}
+
+func TestMatricizePreservesNNZQuick(t *testing.T) {
+	f := func(seed int64, nnz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		csf := FromCOO3(randomCOO3(rng, 6, 7, 8, int(nnz)))
+		return csf.Matricize().NNZ() == csf.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSF3Footprint(t *testing.T) {
+	c3 := NewCOO3(4, 4, 4)
+	c3.Append(0, 0, 0, 1)
+	c3.Append(0, 0, 1, 1)
+	csf := FromCOO3(c3)
+	// Root: 1 coord + 2 ptr; mid: 1 coord + 2 ptr; leaf: 2 coords. 8 words.
+	want := int64(8*MetaBytes + 2*ValueBytes)
+	if csf.Footprint() != want {
+		t.Fatalf("Footprint = %d, want %d", csf.Footprint(), want)
+	}
+}

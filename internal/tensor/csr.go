@@ -1,0 +1,250 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed sparse row matrix (T-UC in the paper's taxonomy):
+// Ptr is the segment array (len Rows+1), Idx the column-coordinate array and
+// Val the data array. Row i occupies positions Ptr[i]..Ptr[i+1] and its
+// column coordinates are strictly increasing.
+type CSR struct {
+	Rows, Cols int
+	Ptr        []int
+	Idx        []int
+	Val        []float64
+}
+
+// NewCSR returns an empty CSR matrix with the given shape.
+func NewCSR(rows, cols int) *CSR {
+	return &CSR{Rows: rows, Cols: cols, Ptr: make([]int, rows+1)}
+}
+
+// FromCOO converts a coordinate list into CSR, summing duplicate points.
+// The input is sorted in place.
+func FromCOO(m *COO) *CSR {
+	m.sortRowMajor()
+	c := &CSR{
+		Rows: m.Rows,
+		Cols: m.Cols,
+		Ptr:  make([]int, m.Rows+1),
+		Idx:  make([]int, 0, m.Len()),
+		Val:  make([]float64, 0, m.Len()),
+	}
+	row := 0
+	for t := 0; t < m.Len(); {
+		i, j := m.I[t], m.J[t]
+		v := m.V[t]
+		t++
+		for t < m.Len() && m.I[t] == i && m.J[t] == j {
+			v += m.V[t] // sum duplicates
+			t++
+		}
+		if v == 0 {
+			continue // an explicit zero is not a stored point
+		}
+		for row <= i {
+			c.Ptr[row] = len(c.Idx)
+			row++
+		}
+		c.Idx = append(c.Idx, j)
+		c.Val = append(c.Val, v)
+	}
+	for row <= m.Rows {
+		c.Ptr[row] = len(c.Idx)
+		row++
+	}
+	return c
+}
+
+// NNZ returns the number of stored non-zeros (the matrix occupancy).
+func (c *CSR) NNZ() int { return len(c.Idx) }
+
+// Density returns the fraction of points that are non-zero.
+func (c *CSR) Density() float64 {
+	if c.Rows == 0 || c.Cols == 0 {
+		return 0
+	}
+	return float64(c.NNZ()) / (float64(c.Rows) * float64(c.Cols))
+}
+
+// Footprint returns the modeled byte footprint of the representation.
+func (c *CSR) Footprint() int64 { return FootprintCSR(c.Rows, c.NNZ()) }
+
+// Row returns the fiber for row i: its column coordinates and values.
+func (c *CSR) Row(i int) Fiber {
+	lo, hi := c.Ptr[i], c.Ptr[i+1]
+	return Fiber{Coords: c.Idx[lo:hi], Vals: c.Val[lo:hi]}
+}
+
+// RowRange returns the positions [lo, hi) within row i whose column
+// coordinates fall inside [c0, c1). It binary-searches the coordinate array,
+// mirroring the segment/coordinate lookups the tile extractor performs.
+func (c *CSR) RowRange(i, c0, c1 int) (lo, hi int) {
+	s, e := c.Ptr[i], c.Ptr[i+1]
+	lo = s + sort.SearchInts(c.Idx[s:e], c0)
+	hi = s + sort.SearchInts(c.Idx[s:e], c1)
+	return lo, hi
+}
+
+// At returns the value at (i, j), or 0 when the point is not stored.
+func (c *CSR) At(i, j int) float64 {
+	lo, hi := c.RowRange(i, j, j+1)
+	if lo < hi {
+		return c.Val[lo]
+	}
+	return 0
+}
+
+// Transpose returns the transposed matrix, still in CSR. A CSR of the
+// transpose is identical in memory layout to a CSC of the original, so this
+// is also the CSR→CSC conversion kernel.
+func (c *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows: c.Cols,
+		Cols: c.Rows,
+		Ptr:  make([]int, c.Cols+1),
+		Idx:  make([]int, c.NNZ()),
+		Val:  make([]float64, c.NNZ()),
+	}
+	// Counting pass.
+	for _, j := range c.Idx {
+		t.Ptr[j+1]++
+	}
+	for j := 0; j < c.Cols; j++ {
+		t.Ptr[j+1] += t.Ptr[j]
+	}
+	// Scatter pass; next tracks the insertion cursor per output row.
+	next := make([]int, c.Cols)
+	copy(next, t.Ptr[:c.Cols])
+	for i := 0; i < c.Rows; i++ {
+		for p := c.Ptr[i]; p < c.Ptr[i+1]; p++ {
+			j := c.Idx[p]
+			q := next[j]
+			next[j]++
+			t.Idx[q] = i
+			t.Val[q] = c.Val[p]
+		}
+	}
+	return t
+}
+
+// ToCSC converts to an explicit column-major representation.
+func (c *CSR) ToCSC() *CSC {
+	t := c.Transpose()
+	return &CSC{Rows: c.Rows, Cols: c.Cols, Ptr: t.Ptr, Idx: t.Idx, Val: t.Val}
+}
+
+// ToCOO expands the matrix back into a coordinate list in row-major order.
+func (c *CSR) ToCOO() *COO {
+	m := NewCOO(c.Rows, c.Cols)
+	for i := 0; i < c.Rows; i++ {
+		for p := c.Ptr[i]; p < c.Ptr[i+1]; p++ {
+			m.Append(i, c.Idx[p], c.Val[p])
+		}
+	}
+	return m
+}
+
+// Equal reports whether two matrices have identical shape and stored
+// points. Values are compared exactly.
+func (c *CSR) Equal(o *CSR) bool {
+	if c.Rows != o.Rows || c.Cols != o.Cols || c.NNZ() != o.NNZ() {
+		return false
+	}
+	for i := range c.Ptr {
+		if c.Ptr[i] != o.Ptr[i] {
+			return false
+		}
+	}
+	for p := range c.Idx {
+		if c.Idx[p] != o.Idx[p] || c.Val[p] != o.Val[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether two matrices have the same sparsity pattern
+// and values within tol of each other.
+func (c *CSR) EqualApprox(o *CSR, tol float64) bool {
+	if c.Rows != o.Rows || c.Cols != o.Cols || c.NNZ() != o.NNZ() {
+		return false
+	}
+	for i := range c.Ptr {
+		if c.Ptr[i] != o.Ptr[i] {
+			return false
+		}
+	}
+	for p := range c.Idx {
+		if c.Idx[p] != o.Idx[p] {
+			return false
+		}
+		d := c.Val[p] - o.Val[p]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// RowNNZVariation returns the coefficient of variation (stddev/mean) of the
+// per-row non-zero counts; Fig. 8 sorts workloads by this statistic.
+func (c *CSR) RowNNZVariation() float64 {
+	if c.Rows == 0 || c.NNZ() == 0 {
+		return 0
+	}
+	mean := float64(c.NNZ()) / float64(c.Rows)
+	var ss float64
+	for i := 0; i < c.Rows; i++ {
+		d := float64(c.Ptr[i+1]-c.Ptr[i]) - mean
+		ss += d * d
+	}
+	return sqrt(ss/float64(c.Rows)) / mean
+}
+
+// sqrt is a dependency-free Newton square root; the tensor package avoids
+// importing math for a single call site.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 64; i++ {
+		nz := (z + x/z) / 2
+		if nz == z {
+			break
+		}
+		z = nz
+	}
+	return z
+}
+
+// Validate checks the structural invariants of the representation and
+// returns a descriptive error for the first violation found.
+func (c *CSR) Validate() error {
+	if len(c.Ptr) != c.Rows+1 {
+		return fmt.Errorf("tensor: Ptr length %d, want %d", len(c.Ptr), c.Rows+1)
+	}
+	if c.Ptr[0] != 0 || c.Ptr[c.Rows] != c.NNZ() {
+		return fmt.Errorf("tensor: segment array ends %d..%d, want 0..%d", c.Ptr[0], c.Ptr[c.Rows], c.NNZ())
+	}
+	if len(c.Idx) != len(c.Val) {
+		return fmt.Errorf("tensor: %d coordinates but %d values", len(c.Idx), len(c.Val))
+	}
+	for i := 0; i < c.Rows; i++ {
+		if c.Ptr[i] > c.Ptr[i+1] {
+			return fmt.Errorf("tensor: segment array decreases at row %d", i)
+		}
+		for p := c.Ptr[i]; p < c.Ptr[i+1]; p++ {
+			if c.Idx[p] < 0 || c.Idx[p] >= c.Cols {
+				return fmt.Errorf("tensor: row %d coordinate %d outside [0,%d)", i, c.Idx[p], c.Cols)
+			}
+			if p > c.Ptr[i] && c.Idx[p] <= c.Idx[p-1] {
+				return fmt.Errorf("tensor: row %d coordinates not strictly increasing at position %d", i, p)
+			}
+		}
+	}
+	return nil
+}

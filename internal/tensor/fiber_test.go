@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedUnique(rng *rand.Rand, n, universe int) []int {
+	seen := map[int]bool{}
+	for len(seen) < n {
+		seen[rng.Intn(universe)] = true
+	}
+	out := make([]int, 0, n)
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func fiberFromCoords(coords []int) Fiber {
+	vals := make([]float64, len(coords))
+	for i := range vals {
+		vals[i] = float64(coords[i] + 1)
+	}
+	return Fiber{Coords: coords, Vals: vals}
+}
+
+func TestIntersectBasic(t *testing.T) {
+	a := fiberFromCoords([]int{1, 3, 5, 9})
+	b := fiberFromCoords([]int{0, 3, 4, 5, 10})
+	var got []int
+	st := Intersect(a, b, func(c, _, _ int) { got = append(got, c) })
+	if st.Matches != 2 || len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("intersect = %v (stats %+v), want [3 5]", got, st)
+	}
+	if st.Comparisons < st.Matches {
+		t.Fatalf("comparisons %d < matches %d", st.Comparisons, st.Matches)
+	}
+}
+
+func TestIntersectEmpty(t *testing.T) {
+	a := fiberFromCoords(nil)
+	b := fiberFromCoords([]int{1, 2, 3})
+	if st := Intersect(a, b, nil); st.Matches != 0 || st.Comparisons != 0 {
+		t.Fatalf("empty intersect did work: %+v", st)
+	}
+}
+
+// TestIntersectUnionQuick checks |A∩B| + |A∪B| = |A| + |B| on random fibers.
+func TestIntersectUnionQuick(t *testing.T) {
+	f := func(seed int64, na, nb uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := fiberFromCoords(sortedUnique(rng, int(na%30), 60))
+		b := fiberFromCoords(sortedUnique(rng, int(nb%30), 60))
+		return IntersectCount(a, b)+UnionCount(a, b) == a.Len()+b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a := fiberFromCoords(sortedUnique(rng, rng.Intn(20), 40))
+		b := fiberFromCoords(sortedUnique(rng, rng.Intn(20), 40))
+		inA := map[int]bool{}
+		for _, c := range a.Coords {
+			inA[c] = true
+		}
+		want := 0
+		for _, c := range b.Coords {
+			if inA[c] {
+				want++
+			}
+		}
+		if got := IntersectCount(a, b); got != want {
+			t.Fatalf("trial %d: intersect = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := fiberFromCoords([]int{1, 3}) // vals 2, 4
+	b := fiberFromCoords([]int{3, 7}) // vals 4, 8
+	got, st := Dot(a, b)
+	if got != 16 {
+		t.Fatalf("dot = %g, want 16", got)
+	}
+	if st.Matches != 1 {
+		t.Fatalf("matches = %d, want 1", st.Matches)
+	}
+}
+
+func TestDotMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		a := fiberFromCoords(sortedUnique(rng, rng.Intn(15), 30))
+		b := fiberFromCoords(sortedUnique(rng, rng.Intn(15), 30))
+		var da, db [30]float64
+		for p, c := range a.Coords {
+			da[c] = a.Vals[p]
+		}
+		for p, c := range b.Coords {
+			db[c] = b.Vals[p]
+		}
+		var want float64
+		for i := range da {
+			want += da[i] * db[i]
+		}
+		if got, _ := Dot(a, b); got != want {
+			t.Fatalf("trial %d: dot = %g, want %g", trial, got, want)
+		}
+	}
+}

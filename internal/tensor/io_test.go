@@ -1,0 +1,115 @@
+package tensor
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := FromCOO(randomCOO(rng, 30, 20, 80))
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Fatal("MatrixMarket round trip changed the matrix")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 2
+2 1 5.0
+3 3 7.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 5 || m.At(0, 1) != 5 {
+		t.Fatalf("symmetric expansion failed: %g %g", m.At(1, 0), m.At(0, 1))
+	}
+	if m.At(2, 2) != 7 || m.NNZ() != 3 {
+		t.Fatalf("diagonal handling wrong: nnz=%d", m.NNZ())
+	}
+}
+
+func TestMatrixMarketSkewSymmetric(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 4.0\n"
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 4 || m.At(0, 1) != -4 {
+		t.Fatalf("skew expansion failed: %g %g", m.At(1, 0), m.At(0, 1))
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 1\n2 3\n"
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 || m.At(1, 2) != 1 {
+		t.Fatal("pattern values must default to 1")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2 0\n",
+		"%%MatrixMarket matrix coordinate complex general\n2 2 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n", // truncated
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n",
+		"not a header\n",
+	}
+	for i, src := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadFROSTT(t *testing.T) {
+	src := `# comment
+1 1 1 2.5
+3 2 4 1.0
+1 1 1 0.5
+`
+	x, err := ReadFROSTT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.I != 3 || x.J != 2 || x.K != 4 {
+		t.Fatalf("inferred shape %dx%dx%d", x.I, x.J, x.K)
+	}
+	if x.NNZ() != 2 { // duplicate (1,1,1) summed
+		t.Fatalf("nnz = %d, want 2", x.NNZ())
+	}
+	if x.Vals[0] != 3.0 {
+		t.Fatalf("duplicate sum = %g, want 3", x.Vals[0])
+	}
+}
+
+func TestReadFROSTTErrors(t *testing.T) {
+	for i, src := range []string{
+		"1 1 2.5\n",     // too few fields
+		"1 1 1 1 2.5\n", // 4-tensor
+		"0 1 1 2.5\n",   // 0-based
+		"a b c d\n",     // garbage
+	} {
+		if _, err := ReadFROSTT(strings.NewReader(src)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package tensor provides the sparse tensor substrate for the DRT
+// reproduction: coordinate (COO), compressed sparse row/column (CSR/CSC),
+// dense, and compressed sparse fiber (CSF) representations, together with
+// fibertree-style iteration, coordinate intersection, and the footprint
+// model used throughout the paper ("footprint" = bytes of metadata + data
+// for a representation, Table 1).
+//
+// All formats follow the paper's T-[uc]+ family: a compressed dimension is a
+// coordinate-payload list (segment array + coordinate array), an
+// uncompressed dimension is indexed directly. CSR is T-UC (row uncompressed,
+// column compressed); CSC is its column-major mirror; CSF3 is T-CCC for
+// 3-tensors.
+package tensor
+
+// Byte costs of the compressed representations. The paper's traffic numbers
+// assume 32-bit metadata words (segment/coordinate entries) and 64-bit data
+// values; these constants keep the footprint model independent of Go's
+// in-memory integer width.
+const (
+	// MetaBytes is the size of one metadata word (a segment-array or
+	// coordinate-array entry) in the footprint model.
+	MetaBytes = 4
+	// ValueBytes is the size of one data value in the footprint model.
+	ValueBytes = 8
+)
+
+// FootprintCSR returns the modeled byte footprint of a CSR/CSC structure
+// with the given number of segments (rows for CSR) and non-zeros: the
+// segment array (rows+1 words), the coordinate array (nnz words) and the
+// data array (nnz values).
+func FootprintCSR(segments, nnz int) int64 {
+	return int64(segments+1)*MetaBytes + int64(nnz)*(MetaBytes+ValueBytes)
+}
+
+// FootprintCOO returns the modeled byte footprint of an uncompressed
+// coordinate list with nnz entries over ndims dimensions.
+func FootprintCOO(ndims, nnz int) int64 {
+	return int64(nnz) * (int64(ndims)*MetaBytes + ValueBytes)
+}

@@ -1,0 +1,124 @@
+package tiling
+
+import (
+	"fmt"
+
+	"drt/internal/tensor"
+)
+
+// Grid3 is the 3-D analog of Grid for CSF tensors: per-micro-tile summaries
+// over a GI×GJ×GK grid with 3-D inclusion–exclusion prefix sums. The Gram
+// experiments grow DRT tiles along three dimensions (Sec. 6.1.3), which
+// needs O(1) box footprint queries.
+type Grid3 struct {
+	I, J, K    int // parent shape
+	TI, TJ, TK int // micro tile shape
+	GI, GJ, GK int
+
+	nnzSum  []int64 // (GI+1)*(GJ+1)*(GK+1)
+	fpSum   []int64
+	tileSum []int64
+}
+
+// NewGrid3 tiles x into ti×tj×tk micro tiles and builds the prefix sums.
+func NewGrid3(x *tensor.CSF3, ti, tj, tk int) *Grid3 {
+	if ti < 1 || tj < 1 || tk < 1 {
+		panic(fmt.Sprintf("tiling: invalid micro tile shape %dx%dx%d", ti, tj, tk))
+	}
+	g := &Grid3{
+		I: x.I, J: x.J, K: x.K,
+		TI: ti, TJ: tj, TK: tk,
+		GI: ceilDiv(x.I, ti), GJ: ceilDiv(x.J, tj), GK: ceilDiv(x.K, tk),
+	}
+	counts := make([]int64, g.GI*g.GJ*g.GK)
+	for r := 0; r < len(x.RootCoords); r++ {
+		i, lo, hi := x.Slice(r)
+		gi := i / ti
+		for m := lo; m < hi; m++ {
+			gj := x.MidCoords[m] / tj
+			f := x.LeafFiber(m)
+			for _, k := range f.Coords {
+				counts[(gi*g.GJ+gj)*g.GK+k/tk]++
+			}
+		}
+	}
+	g.buildSums(counts)
+	return g
+}
+
+func (g *Grid3) buildSums(counts []int64) {
+	wj, wk := g.GJ+1, g.GK+1
+	size := (g.GI + 1) * wj * wk
+	g.nnzSum = make([]int64, size)
+	g.fpSum = make([]int64, size)
+	g.tileSum = make([]int64, size)
+	at := func(s []int64, i, j, k int) int64 { return s[(i*wj+j)*wk+k] }
+	for i := 0; i < g.GI; i++ {
+		for j := 0; j < g.GJ; j++ {
+			for k := 0; k < g.GK; k++ {
+				n := counts[(i*g.GJ+j)*g.GK+k]
+				var fp, tc int64
+				if n > 0 {
+					// A micro tile of a CSF tensor is modeled as a
+					// two-level fiber structure over its TI slices.
+					fp = MicroFootprint(g.TI, int(n))
+					tc = 1
+				}
+				set := func(s []int64, v int64) {
+					s[((i+1)*wj+(j+1))*wk+k+1] = v +
+						at(s, i, j+1, k+1) + at(s, i+1, j, k+1) + at(s, i+1, j+1, k) -
+						at(s, i, j, k+1) - at(s, i, j+1, k) - at(s, i+1, j, k) +
+						at(s, i, j, k)
+				}
+				set(g.nnzSum, n)
+				set(g.fpSum, fp)
+				set(g.tileSum, tc)
+			}
+		}
+	}
+}
+
+func (g *Grid3) clampBox(i0, i1, j0, j1, k0, k1 int) (int, int, int, int, int, int) {
+	cl := func(lo, hi, ext int) (int, int) {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > ext {
+			hi = ext
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo, hi
+	}
+	i0, i1 = cl(i0, i1, g.GI)
+	j0, j1 = cl(j0, j1, g.GJ)
+	k0, k1 = cl(k0, k1, g.GK)
+	return i0, i1, j0, j1, k0, k1
+}
+
+func (g *Grid3) boxQuery(s []int64, i0, i1, j0, j1, k0, k1 int) int64 {
+	wj, wk := g.GJ+1, g.GK+1
+	at := func(i, j, k int) int64 { return s[(i*wj+j)*wk+k] }
+	return at(i1, j1, k1) - at(i0, j1, k1) - at(i1, j0, k1) - at(i1, j1, k0) +
+		at(i0, j0, k1) + at(i0, j1, k0) + at(i1, j0, k0) - at(i0, j0, k0)
+}
+
+// RegionNNZ returns the occupancy of the grid box (grid coords, clamped).
+func (g *Grid3) RegionNNZ(i0, i1, j0, j1, k0, k1 int) int64 {
+	i0, i1, j0, j1, k0, k1 = g.clampBox(i0, i1, j0, j1, k0, k1)
+	return g.boxQuery(g.nnzSum, i0, i1, j0, j1, k0, k1)
+}
+
+// RegionFootprint returns the byte footprint of the macro tile covering the
+// grid box.
+func (g *Grid3) RegionFootprint(i0, i1, j0, j1, k0, k1 int) int64 {
+	i0, i1, j0, j1, k0, k1 = g.clampBox(i0, i1, j0, j1, k0, k1)
+	return g.boxQuery(g.fpSum, i0, i1, j0, j1, k0, k1)
+}
+
+// RegionTiles returns the number of stored micro tiles in the grid box.
+func (g *Grid3) RegionTiles(i0, i1, j0, j1, k0, k1 int) int64 {
+	i0, i1, j0, j1, k0, k1 = g.clampBox(i0, i1, j0, j1, k0, k1)
+	return g.boxQuery(g.tileSum, i0, i1, j0, j1, k0, k1)
+}

@@ -1,0 +1,237 @@
+// Package tiling implements the paper's S-U-C micro-tiling pre-processing
+// (Sec. 3.2.1 and 4.1): input tensors are physically carved into
+// statically-built, uniformly-shaped coordinate-space micro tiles, and the
+// representation is augmented with per-micro-tile footprints ("micro tile
+// sizes" in Fig. 5) so the tile extractor can aggregate macro tiles without
+// introspecting micro-tile metadata.
+//
+// The Grid types store per-micro-tile occupancy/footprint summaries with
+// inclusion–exclusion prefix sums, so any coordinate-space rectangle's
+// footprint is an O(1) query. DRT's growth probes use these queries; the
+// extractor cycle model separately charges the raster-order scan cost the
+// hardware would pay (see internal/extractor).
+package tiling
+
+import (
+	"fmt"
+
+	"drt/internal/tensor"
+)
+
+// TileOverheadWords is the number of metadata words the augmented
+// representation stores per non-empty micro tile at the outer level: its
+// coordinate, its footprint ("micro tile sizes" array) and its pointer
+// (Fig. 5).
+const TileOverheadWords = 3
+
+// Format selects the compressed representation of each micro tile.
+type Format int
+
+const (
+	// TUC is the evaluation's default: each micro tile is a CSR (T-UC)
+	// structure with a full segment array, cheap to index but
+	// metadata-heavy for hyper-sparse tiles (the red-circled outliers of
+	// Fig. 11).
+	TUC Format = iota
+	// TCC compresses the row dimension too (doubly compressed, DCSR):
+	// only occupied rows carry segment entries — the representation
+	// Sec. 6.3 expects to resolve the metadata-overhead outliers.
+	TCC
+)
+
+// String names the format as in the paper's T-[uc]+ taxonomy.
+func (f Format) String() string {
+	if f == TCC {
+		return "T-CC"
+	}
+	return "T-UC"
+}
+
+// MicroFootprint returns the modeled byte footprint of one micro tile with
+// the given shape and occupancy: its own CSR structure plus the outer-level
+// coordinate/size/pointer words. Empty tiles are not stored and cost 0.
+func MicroFootprint(tileRows, nnz int) int64 {
+	return MicroFootprintFormat(TUC, tileRows, nnz)
+}
+
+// MicroFootprintFormat is MicroFootprint for an explicit tile format. The
+// T-CC occupied-row count is approximated by min(nnz, tileRows), exact at
+// both the hyper-sparse and dense extremes.
+func MicroFootprintFormat(f Format, tileRows, nnz int) int64 {
+	if nnz == 0 {
+		return 0
+	}
+	switch f {
+	case TCC:
+		occRows := nnz
+		if occRows > tileRows {
+			occRows = tileRows
+		}
+		// Row-coordinate list + segment array over occupied rows only,
+		// then the usual coordinate/value arrays and outer overhead.
+		meta := int64(occRows+occRows+1+nnz) * tensor.MetaBytes
+		return meta + int64(nnz)*tensor.ValueBytes + TileOverheadWords*tensor.MetaBytes
+	default:
+		return tensor.FootprintCSR(tileRows, nnz) + TileOverheadWords*tensor.MetaBytes
+	}
+}
+
+// Grid is the micro-tile summary of a matrix: per-tile non-zero counts and
+// footprints over a GR×GC grid of TileH×TileW coordinate-space tiles, with
+// 2-D prefix sums for O(1) rectangle queries.
+type Grid struct {
+	Rows, Cols   int    // parent coordinate-space shape
+	TileH, TileW int    // micro tile shape
+	GR, GC       int    // grid extents (ceil division)
+	Format       Format // per-micro-tile representation
+
+	// Prefix sums, each of length (GR+1)*(GC+1), indexed [r*(GC+1)+c]:
+	// sum over grid cells [0,r)×[0,c).
+	nnzSum  []int64
+	fpSum   []int64
+	tileSum []int64 // count of non-empty micro tiles
+}
+
+// NewGrid tiles m into tileH×tileW T-UC micro tiles and builds the prefix
+// sums.
+func NewGrid(m *tensor.CSR, tileH, tileW int) *Grid {
+	return NewGridWithFormat(m, tileH, tileW, TUC)
+}
+
+// NewGridWithFormat is NewGrid with an explicit micro-tile representation.
+func NewGridWithFormat(m *tensor.CSR, tileH, tileW int, f Format) *Grid {
+	if tileH < 1 || tileW < 1 {
+		panic(fmt.Sprintf("tiling: invalid micro tile shape %dx%d", tileH, tileW))
+	}
+	g := &Grid{
+		Rows: m.Rows, Cols: m.Cols,
+		TileH: tileH, TileW: tileW,
+		GR: ceilDiv(m.Rows, tileH), GC: ceilDiv(m.Cols, tileW),
+		Format: f,
+	}
+	// Count non-zeros per grid cell. Rows of the parent map to grid rows
+	// directly; accumulate into a dense row of grid cells at a time.
+	counts := make([]int64, g.GR*g.GC)
+	for i := 0; i < m.Rows; i++ {
+		gr := i / tileH
+		for p := m.Ptr[i]; p < m.Ptr[i+1]; p++ {
+			counts[gr*g.GC+m.Idx[p]/tileW]++
+		}
+	}
+	g.buildSums(counts)
+	return g
+}
+
+// NewGrid3Slice builds a grid over one (row-like, col-like) pair of
+// dimensions from explicit per-cell counts; used by the 3-D grid below and
+// by tests.
+func newGridFromCounts(rows, cols, tileH, tileW int, counts []int64) *Grid {
+	g := &Grid{
+		Rows: rows, Cols: cols, TileH: tileH, TileW: tileW,
+		GR: ceilDiv(rows, tileH), GC: ceilDiv(cols, tileW),
+	}
+	g.buildSums(counts)
+	return g
+}
+
+func (g *Grid) buildSums(counts []int64) {
+	w := g.GC + 1
+	g.nnzSum = make([]int64, (g.GR+1)*w)
+	g.fpSum = make([]int64, (g.GR+1)*w)
+	g.tileSum = make([]int64, (g.GR+1)*w)
+	for r := 0; r < g.GR; r++ {
+		for c := 0; c < g.GC; c++ {
+			n := counts[r*g.GC+c]
+			var fp, tc int64
+			if n > 0 {
+				fp = MicroFootprintFormat(g.Format, g.TileH, int(n))
+				tc = 1
+			}
+			// inclusion-exclusion
+			idx := (r+1)*w + (c + 1)
+			g.nnzSum[idx] = n + g.nnzSum[r*w+c+1] + g.nnzSum[(r+1)*w+c] - g.nnzSum[r*w+c]
+			g.fpSum[idx] = fp + g.fpSum[r*w+c+1] + g.fpSum[(r+1)*w+c] - g.fpSum[r*w+c]
+			g.tileSum[idx] = tc + g.tileSum[r*w+c+1] + g.tileSum[(r+1)*w+c] - g.tileSum[r*w+c]
+		}
+	}
+}
+
+// clampRect clips a grid-coordinate rectangle to the grid extents.
+func (g *Grid) clampRect(r0, r1, c0, c1 int) (int, int, int, int) {
+	if r0 < 0 {
+		r0 = 0
+	}
+	if c0 < 0 {
+		c0 = 0
+	}
+	if r1 > g.GR {
+		r1 = g.GR
+	}
+	if c1 > g.GC {
+		c1 = g.GC
+	}
+	if r1 < r0 {
+		r1 = r0
+	}
+	if c1 < c0 {
+		c1 = c0
+	}
+	return r0, r1, c0, c1
+}
+
+func rectQuery(sum []int64, w, r0, r1, c0, c1 int) int64 {
+	return sum[r1*w+c1] - sum[r0*w+c1] - sum[r1*w+c0] + sum[r0*w+c0]
+}
+
+// RegionNNZ returns the occupancy of grid rectangle [r0,r1)×[c0,c1)
+// (grid coordinates, clamped).
+func (g *Grid) RegionNNZ(r0, r1, c0, c1 int) int64 {
+	r0, r1, c0, c1 = g.clampRect(r0, r1, c0, c1)
+	return rectQuery(g.nnzSum, g.GC+1, r0, r1, c0, c1)
+}
+
+// RegionFootprint returns the byte footprint of the macro tile covering
+// grid rectangle [r0,r1)×[c0,c1): the stored micro tiles plus their
+// outer-level metadata.
+func (g *Grid) RegionFootprint(r0, r1, c0, c1 int) int64 {
+	r0, r1, c0, c1 = g.clampRect(r0, r1, c0, c1)
+	return rectQuery(g.fpSum, g.GC+1, r0, r1, c0, c1)
+}
+
+// RegionTiles returns the number of stored (non-empty) micro tiles in the
+// rectangle; the extractor's Aggregate scan cost is proportional to it.
+func (g *Grid) RegionTiles(r0, r1, c0, c1 int) int64 {
+	r0, r1, c0, c1 = g.clampRect(r0, r1, c0, c1)
+	return rectQuery(g.tileSum, g.GC+1, r0, r1, c0, c1)
+}
+
+// TotalFootprint returns the footprint of the whole tiled matrix.
+func (g *Grid) TotalFootprint() int64 { return g.RegionFootprint(0, g.GR, 0, g.GC) }
+
+// TotalNNZ returns the matrix occupancy.
+func (g *Grid) TotalNNZ() int64 { return g.RegionNNZ(0, g.GR, 0, g.GC) }
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// SuggestMicroTile picks, from the candidate edges, the micro tile size
+// that minimizes the matrix's tiled footprint — the runtime shape decision
+// Fig. 17's discussion leaves to future work. Small tiles pay per-tile
+// metadata on hyper-sparse data; large tiles pay segment-array overhead
+// and converge to S-U-C behavior. With no candidates, {8, 16, 32, 64} are
+// tried.
+func SuggestMicroTile(m *tensor.CSR, candidates ...int) int {
+	if len(candidates) == 0 {
+		candidates = []int{8, 16, 32, 64}
+	}
+	best, bestFP := candidates[0], int64(-1)
+	for _, edge := range candidates {
+		if edge < 1 {
+			continue
+		}
+		fp := NewGrid(m, edge, edge).TotalFootprint()
+		if bestFP < 0 || fp < bestFP {
+			best, bestFP = edge, fp
+		}
+	}
+	return best
+}

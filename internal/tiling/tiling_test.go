@@ -1,0 +1,235 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"drt/internal/gen"
+	"drt/internal/tensor"
+)
+
+// naive recomputes a rectangle's nnz/footprint/tiles directly from the
+// matrix, the oracle for prefix-sum queries.
+func naive(m *tensor.CSR, tileH, tileW, r0, r1, c0, c1 int) (nnz, fp, tiles int64) {
+	gr := (m.Rows + tileH - 1) / tileH
+	gc := (m.Cols + tileW - 1) / tileW
+	counts := make([]int64, gr*gc)
+	for i := 0; i < m.Rows; i++ {
+		for p := m.Ptr[i]; p < m.Ptr[i+1]; p++ {
+			counts[(i/tileH)*gc+m.Idx[p]/tileW]++
+		}
+	}
+	for r := r0; r < r1 && r < gr; r++ {
+		for c := c0; c < c1 && c < gc; c++ {
+			if r < 0 || c < 0 {
+				continue
+			}
+			n := counts[r*gc+c]
+			nnz += n
+			if n > 0 {
+				fp += MicroFootprint(tileH, int(n))
+				tiles++
+			}
+		}
+	}
+	return
+}
+
+func TestGridMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := rng.Intn(60)+5, rng.Intn(60)+5
+		m := gen.Uniform(rows, cols, rows*cols/4+1, rng.Int63())
+		th, tw := rng.Intn(7)+1, rng.Intn(7)+1
+		g := NewGrid(m, th, tw)
+		for q := 0; q < 20; q++ {
+			r0, r1 := rng.Intn(g.GR+2)-1, rng.Intn(g.GR+2)
+			c0, c1 := rng.Intn(g.GC+2)-1, rng.Intn(g.GC+2)
+			wn, wf, wt := naive(m, th, tw, r0, r1, c0, c1)
+			if got := g.RegionNNZ(r0, r1, c0, c1); got != wn {
+				t.Fatalf("trial %d: nnz[%d,%d)x[%d,%d) = %d, want %d", trial, r0, r1, c0, c1, got, wn)
+			}
+			if got := g.RegionFootprint(r0, r1, c0, c1); got != wf {
+				t.Fatalf("trial %d: footprint = %d, want %d", trial, g.RegionFootprint(r0, r1, c0, c1), wf)
+			}
+			if got := g.RegionTiles(r0, r1, c0, c1); got != wt {
+				t.Fatalf("trial %d: tiles = %d, want %d", trial, got, wt)
+			}
+		}
+	}
+}
+
+func TestGridTotals(t *testing.T) {
+	m := gen.RMAT(128, 900, 0.57, 0.19, 0.19, 2)
+	g := NewGrid(m, 32, 32)
+	if g.TotalNNZ() != int64(m.NNZ()) {
+		t.Fatalf("TotalNNZ = %d, want %d", g.TotalNNZ(), m.NNZ())
+	}
+	if g.GR != 4 || g.GC != 4 {
+		t.Fatalf("grid extents %dx%d, want 4x4", g.GR, g.GC)
+	}
+}
+
+func TestGridRaggedEdges(t *testing.T) {
+	// 33x33 matrix with 32x32 tiles → 2x2 grid with ragged last row/col.
+	m := tensor.NewCOO(33, 33)
+	m.Append(32, 32, 1) // lone point in the ragged corner tile
+	g := NewGrid(tensor.FromCOO(m), 32, 32)
+	if g.GR != 2 || g.GC != 2 {
+		t.Fatalf("grid %dx%d, want 2x2", g.GR, g.GC)
+	}
+	if g.RegionNNZ(1, 2, 1, 2) != 1 {
+		t.Fatal("ragged corner tile lost its point")
+	}
+	if g.RegionNNZ(0, 1, 0, 1) != 0 {
+		t.Fatal("phantom occupancy in empty tile")
+	}
+}
+
+func TestMicroFootprint(t *testing.T) {
+	if MicroFootprint(32, 0) != 0 {
+		t.Fatal("empty tile must not be stored")
+	}
+	// 32-row CSR: 33 segment words + nnz coords/vals + 3 overhead words.
+	want := int64(33*tensor.MetaBytes + 5*(tensor.MetaBytes+tensor.ValueBytes) + TileOverheadWords*tensor.MetaBytes)
+	if got := MicroFootprint(32, 5); got != want {
+		t.Fatalf("MicroFootprint(32,5) = %d, want %d", got, want)
+	}
+}
+
+func TestGridMonotonicity(t *testing.T) {
+	// Footprint must be monotone under rectangle inclusion: the property
+	// DRT's growth loop depends on.
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%40) + 10
+		m := gen.Uniform(n, n, n*2, seed)
+		g := NewGrid(m, 4, 4)
+		r0, c0 := rng.Intn(g.GR), rng.Intn(g.GC)
+		r1, c1 := r0+rng.Intn(g.GR-r0)+1, c0+rng.Intn(g.GC-c0)+1
+		inner := g.RegionFootprint(r0, r1, c0, c1)
+		outer := g.RegionFootprint(r0, r1+1, c0, c1+1)
+		return outer >= inner && g.RegionNNZ(r0, r1, c0, c1) <= g.RegionNNZ(r0, r1+1, c0, c1+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func naive3(x *tensor.CSF3, ti, tj, tk, i0, i1, j0, j1, k0, k1 int) (nnz int64) {
+	c := x.ToCOO3()
+	for p := 0; p < c.Len(); p++ {
+		gi, gj, gk := c.Is[p]/ti, c.Js[p]/tj, c.Ks[p]/tk
+		if gi >= i0 && gi < i1 && gj >= j0 && gj < j1 && gk >= k0 && gk < k1 {
+			nnz++
+		}
+	}
+	return
+}
+
+func TestGrid3MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		x := gen.Tensor3(rng.Intn(20)+4, rng.Intn(20)+4, rng.Intn(20)+4, rng.Intn(150)+10, rng.Int63())
+		ti, tj, tk := rng.Intn(4)+1, rng.Intn(4)+1, rng.Intn(4)+1
+		g := NewGrid3(x, ti, tj, tk)
+		for q := 0; q < 15; q++ {
+			i0, i1 := rng.Intn(g.GI+1), rng.Intn(g.GI+1)
+			j0, j1 := rng.Intn(g.GJ+1), rng.Intn(g.GJ+1)
+			k0, k1 := rng.Intn(g.GK+1), rng.Intn(g.GK+1)
+			if i1 < i0 {
+				i0, i1 = i1, i0
+			}
+			if j1 < j0 {
+				j0, j1 = j1, j0
+			}
+			if k1 < k0 {
+				k0, k1 = k1, k0
+			}
+			want := naive3(x, ti, tj, tk, i0, i1, j0, j1, k0, k1)
+			if got := g.RegionNNZ(i0, i1, j0, j1, k0, k1); got != want {
+				t.Fatalf("trial %d: box nnz = %d, want %d", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestGrid3Totals(t *testing.T) {
+	x := gen.Tensor3(30, 20, 10, 200, 4)
+	g := NewGrid3(x, 8, 8, 8)
+	if got := g.RegionNNZ(0, g.GI, 0, g.GJ, 0, g.GK); got != int64(x.NNZ()) {
+		t.Fatalf("total nnz = %d, want %d", got, x.NNZ())
+	}
+	if g.RegionFootprint(0, g.GI, 0, g.GJ, 0, g.GK) <= 0 {
+		t.Fatal("total footprint must be positive")
+	}
+	if g.RegionTiles(0, g.GI, 0, g.GJ, 0, g.GK) <= 0 {
+		t.Fatal("no stored micro tiles found")
+	}
+}
+
+func TestTCCFootprintBelowTUCWhenHyperSparse(t *testing.T) {
+	// A 32-row tile with 2 non-zeros: T-UC pays the 33-word segment
+	// array; T-CC pays only for the 2 occupied rows.
+	tuc := MicroFootprintFormat(TUC, 32, 2)
+	tcc := MicroFootprintFormat(TCC, 32, 2)
+	if tcc >= tuc {
+		t.Fatalf("T-CC %d not below T-UC %d on a hyper-sparse tile", tcc, tuc)
+	}
+	// Near-dense tiles: T-CC's extra row-coordinate list makes it the
+	// (slightly) larger representation.
+	tucD := MicroFootprintFormat(TUC, 32, 1024)
+	tccD := MicroFootprintFormat(TCC, 32, 1024)
+	if tccD < tucD {
+		t.Fatalf("T-CC %d below T-UC %d on a dense tile", tccD, tucD)
+	}
+	if MicroFootprintFormat(TCC, 32, 0) != 0 {
+		t.Fatal("empty tile must not be stored in any format")
+	}
+}
+
+func TestGridWithFormat(t *testing.T) {
+	m := gen.RMAT(256, 600, 0.57, 0.19, 0.19, 9) // hyper-sparse tiles
+	gTUC := NewGridWithFormat(m, 32, 32, TUC)
+	gTCC := NewGridWithFormat(m, 32, 32, TCC)
+	if gTCC.TotalNNZ() != gTUC.TotalNNZ() {
+		t.Fatal("format changed occupancy")
+	}
+	if gTCC.TotalFootprint() >= gTUC.TotalFootprint() {
+		t.Fatalf("T-CC grid footprint %d not below T-UC %d", gTCC.TotalFootprint(), gTUC.TotalFootprint())
+	}
+}
+
+func TestSuggestMicroTile(t *testing.T) {
+	// Scattered hyper-sparse data favors small tiles (a singleton tile's
+	// segment array scales with the edge), while dense-blocked data
+	// amortizes the segment array over many points and favors large
+	// tiles. The suggestion must be the footprint argmin in both cases.
+	scattered := gen.Uniform(1024, 1024, 800, 3)
+	dense := gen.Banded(512, 48, 8, 0.95, 4)
+	for _, tc := range []struct {
+		name string
+		m    *tensor.CSR
+	}{{"scattered", scattered}, {"dense", dense}} {
+		edge := SuggestMicroTile(tc.m, 4, 8, 16, 32, 64)
+		best := edge
+		var bestFP int64 = -1
+		for _, e := range []int{4, 8, 16, 32, 64} {
+			fp := NewGrid(tc.m, e, e).TotalFootprint()
+			if bestFP < 0 || fp < bestFP {
+				best, bestFP = e, fp
+			}
+		}
+		if edge != best {
+			t.Fatalf("%s: suggestion %d, footprint argmin %d", tc.name, edge, best)
+		}
+	}
+	if s, d := SuggestMicroTile(scattered, 4, 64), SuggestMicroTile(dense, 4, 64); s > d {
+		t.Fatalf("scattered suggestion %d above dense %d", s, d)
+	}
+	// Defaults run without candidates.
+	if e := SuggestMicroTile(scattered); e < 8 || e > 64 {
+		t.Fatalf("default suggestion %d outside candidate set", e)
+	}
+}

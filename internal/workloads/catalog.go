@@ -1,0 +1,161 @@
+// Package workloads defines the evaluation workload catalog: synthetic
+// stand-ins for the SuiteSparse/SNAP matrices of Table 3 (matched in
+// shape, occupancy, density and sparsity-pattern class — see DESIGN.md §1
+// for why this preserves the experiments' behavior), the tall-skinny and
+// MS-BFS constructions of Figs. 7–8, and the 3-tensor suite of Fig. 9.
+package workloads
+
+import (
+	"fmt"
+
+	"drt/internal/gen"
+	"drt/internal/tensor"
+)
+
+// Pattern classifies an entry's sparsity structure, the paper's two
+// workload groups (Fig. 6's red divider).
+type Pattern int
+
+const (
+	// Diamond is the banded/diamond FEM-style pattern group.
+	Diamond Pattern = iota
+	// Unstructured is the power-law graph group.
+	Unstructured
+)
+
+// String names the pattern group.
+func (p Pattern) String() string {
+	if p == Diamond {
+		return "diamond"
+	}
+	return "unstructured"
+}
+
+// Entry describes one catalog matrix at full (paper) scale.
+type Entry struct {
+	Name    string
+	N       int // square dimension
+	NNZ     int // full-scale non-zeros
+	Pattern Pattern
+	Seed    int64
+}
+
+// Density returns the entry's full-scale density.
+func (e Entry) Density() float64 { return float64(e.NNZ) / (float64(e.N) * float64(e.N)) }
+
+// Table3 is the catalog, mirroring the paper's Appendix A.1 inventory.
+// Diamond-group entries come first, then unstructured, each sorted by
+// increasing input density as in Fig. 6.
+var Table3 = []Entry{
+	// Diamond band group (banded/FEM matrices), increasing density.
+	{Name: "mc2depi", N: 526_000, NNZ: 2_100_000, Pattern: Diamond, Seed: 101},
+	{Name: "mac_econ_fwd500", N: 207_000, NNZ: 1_300_000, Pattern: Diamond, Seed: 102},
+	{Name: "scircuit", N: 171_000, NNZ: 1_000_000, Pattern: Diamond, Seed: 103},
+	{Name: "shipsec1", N: 141_000, NNZ: 3_600_000, Pattern: Diamond, Seed: 104},
+	{Name: "pwtk", N: 218_000, NNZ: 11_500_000, Pattern: Diamond, Seed: 105},
+	{Name: "consph", N: 83_000, NNZ: 6_000_000, Pattern: Diamond, Seed: 106},
+	{Name: "cant", N: 63_000, NNZ: 4_000_000, Pattern: Diamond, Seed: 107},
+	{Name: "rma10", N: 47_000, NNZ: 2_300_000, Pattern: Diamond, Seed: 108},
+	{Name: "pdb1HYS", N: 36_000, NNZ: 4_300_000, Pattern: Diamond, Seed: 109},
+	{Name: "bcsstk17", N: 11_000, NNZ: 428_600, Pattern: Diamond, Seed: 110},
+	// Unstructured group (SNAP graphs), increasing density.
+	{Name: "email-EuAll", N: 265_000, NNZ: 420_000, Pattern: Unstructured, Seed: 201},
+	{Name: "amazon0302", N: 262_000, NNZ: 1_200_000, Pattern: Unstructured, Seed: 202},
+	{Name: "sx-askubuntu", N: 159_000, NNZ: 597_000, Pattern: Unstructured, Seed: 203},
+	{Name: "p2p-Gnutella31", N: 63_000, NNZ: 148_000, Pattern: Unstructured, Seed: 204},
+	{Name: "soc-sign-epinions", N: 132_000, NNZ: 841_000, Pattern: Unstructured, Seed: 205},
+	{Name: "soc-Epinions1", N: 76_000, NNZ: 509_000, Pattern: Unstructured, Seed: 206},
+	{Name: "cop20k_A", N: 121_000, NNZ: 2_600_000, Pattern: Unstructured, Seed: 207},
+	{Name: "cit-HepPh", N: 35_000, NNZ: 421_000, Pattern: Unstructured, Seed: 208},
+	{Name: "sx-mathoverflow", N: 25_000, NNZ: 240_000, Pattern: Unstructured, Seed: 209},
+	// Extra entries used by some figures (not in the Fig. 6 set).
+	{Name: "enron", N: 69_000, NNZ: 276_000, Pattern: Unstructured, Seed: 210},
+}
+
+// Lookup returns the entry with the given name.
+func Lookup(name string) (Entry, error) {
+	for _, e := range Table3 {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("workloads: unknown matrix %q", name)
+}
+
+// Fig6Set returns the 19 matrices of Fig. 6 in plot order (diamond group
+// then unstructured, each by increasing density).
+func Fig6Set() []Entry {
+	out := make([]Entry, 0, 19)
+	for _, e := range Table3 {
+		if e.Name != "enron" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Generate materializes the entry scaled down by the given factor:
+// dimensions and occupancy both shrink by scale, preserving the average
+// row length (vertex degree) and pattern — the statistics tiling behavior
+// keys on. The working set shrinks by scale, and exp.Context scales the
+// on-chip buffers by the same factor so buffer-to-working-set ratios match
+// the full-size configuration. scale=1 reproduces the full Table 3 shapes.
+func (e Entry) Generate(scale int) *tensor.CSR {
+	if scale < 1 {
+		scale = 1
+	}
+	n := e.N / scale
+	if n < 64 {
+		n = 64
+	}
+	nnz := e.NNZ / scale
+	if nnz < 2*n {
+		nnz = 2 * n // keep a couple of points per row on deep scaling
+	}
+	if maxNNZ := n * n / 2; nnz > maxNNZ {
+		nnz = maxNNZ // deep scaling of dense matrices saturates
+	}
+	switch e.Pattern {
+	case Diamond:
+		// Choose a half-bandwidth that puts the per-block fill around
+		// one half, approximating an assembled FEM band profile.
+		avgRow := float64(nnz) / float64(n)
+		halfBand := int(avgRow)
+		if halfBand < 2 {
+			halfBand = 2
+		}
+		fill := avgRow / float64(2*halfBand+1)
+		if fill > 0.95 {
+			fill = 0.95
+		}
+		return gen.Banded(n, halfBand, 4, fill, e.Seed)
+	default:
+		return gen.RMAT(n, nnz, 0.57, 0.19, 0.19, e.Seed)
+	}
+}
+
+// TallSkinnyPair returns the F (tall-skinny) and Fᵀ·F-style operands of
+// Fig. 7 for this entry: F has the entry's row count and cols = rows /
+// aspect, with the entry's scaled occupancy.
+func (e Entry) TallSkinnyPair(scale, aspect int) (f, fT *tensor.CSR) {
+	if aspect < 2 {
+		aspect = 2
+	}
+	rows := e.N / scale
+	if rows < 128 {
+		rows = 128
+	}
+	cols := rows / aspect
+	if cols < 8 {
+		cols = 8
+	}
+	nnz := e.NNZ / scale
+	if nnz < rows {
+		nnz = rows
+	}
+	if maxNNZ := rows * cols / 2; nnz > maxNNZ {
+		nnz = maxNNZ
+	}
+	f = gen.TallSkinny(rows, cols, nnz, e.Seed+1000)
+	return f, f.Transpose()
+}

@@ -1,0 +1,68 @@
+package workloads
+
+import (
+	"fmt"
+
+	"drt/internal/tensor"
+)
+
+// MSBFSRun holds the frontier sequence of one multi-source BFS execution:
+// each iteration is the SpMSpM Fᵀ·S between the current frontier matrix
+// and the (square) adjacency matrix (Sec. 5.1.2). As in the paper,
+// filtering of visited vertices happens offline between iterations and is
+// not part of the timed kernels.
+type MSBFSRun struct {
+	S         *tensor.CSR   // adjacency matrix
+	Frontiers []*tensor.CSR // Fᵀ per iteration (sources × n)
+	Visited   int           // total vertices discovered
+}
+
+// MSBFS performs the traversal from the given initial frontier and returns
+// every per-iteration frontier matrix up to maxIters or until the search
+// saturates.
+func MSBFS(s *tensor.CSR, initial *tensor.CSR, maxIters int) (*MSBFSRun, error) {
+	if s.Rows != s.Cols {
+		return nil, fmt.Errorf("workloads: msbfs adjacency must be square, got %dx%d", s.Rows, s.Cols)
+	}
+	if initial.Cols != s.Rows {
+		return nil, fmt.Errorf("workloads: frontier width %d != graph size %d", initial.Cols, s.Rows)
+	}
+	run := &MSBFSRun{S: s}
+	sources := initial.Rows
+	// visited[src*n + v] would be too large at full scale; keep one
+	// bitmap per source row.
+	visited := make([]map[int]bool, sources)
+	for r := range visited {
+		visited[r] = make(map[int]bool)
+		f := initial.Row(r)
+		for _, v := range f.Coords {
+			visited[r][v] = true
+			run.Visited++
+		}
+	}
+	frontier := initial
+	for iter := 0; iter < maxIters && frontier.NNZ() > 0; iter++ {
+		run.Frontiers = append(run.Frontiers, frontier)
+		// Expand: next(src) = neighbors(frontier(src)) \ visited(src).
+		next := tensor.NewCOO(sources, s.Rows)
+		for r := 0; r < sources; r++ {
+			seen := map[int]bool{}
+			f := frontier.Row(r)
+			for _, u := range f.Coords {
+				nb := s.Row(u)
+				for _, v := range nb.Coords {
+					if !visited[r][v] && !seen[v] {
+						seen[v] = true
+						next.Append(r, v, 1)
+					}
+				}
+			}
+			for v := range seen {
+				visited[r][v] = true
+				run.Visited++
+			}
+		}
+		frontier = tensor.FromCOO(next)
+	}
+	return run, nil
+}

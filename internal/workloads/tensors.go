@@ -1,0 +1,71 @@
+package workloads
+
+import (
+	"drt/internal/gen"
+	"drt/internal/tensor"
+)
+
+// TensorEntry describes one 3-tensor of the Fig. 9 density sweep: the
+// stand-ins for FROSTT datasets and Benson-generated tensors. Real FROSTT
+// tensors have multi-million-coordinate modes; the stand-ins keep mode
+// sizes simulatable while spanning the density axis and keeping most
+// footprints well above the fast-memory budget the Gram experiment grants
+// (the regime in which tiling quality matters).
+type TensorEntry struct {
+	Name      string
+	I, J, K   int
+	NNZ       int
+	Clustered bool
+	Seed      int64
+}
+
+// Density returns the entry's full-scale density.
+func (e TensorEntry) Density() float64 {
+	return float64(e.NNZ) / (float64(e.I) * float64(e.J) * float64(e.K))
+}
+
+// TensorSuite is the Fig. 9 sweep, ordered by increasing density.
+var TensorSuite = []TensorEntry{
+	{Name: "t3-2e-6", I: 768, J: 768, K: 768, NNZ: 900, Seed: 301},
+	{Name: "t3-1e-5", I: 768, J: 768, K: 768, NNZ: 4_500, Seed: 302},
+	{Name: "t3-5e-5", I: 640, J: 640, K: 640, NNZ: 13_000, Seed: 303},
+	{Name: "t3c-5e-5", I: 640, J: 640, K: 640, NNZ: 13_000, Clustered: true, Seed: 304},
+	{Name: "t3-2e-4", I: 512, J: 512, K: 512, NNZ: 27_000, Seed: 305},
+	{Name: "t3c-2e-4", I: 512, J: 512, K: 512, NNZ: 27_000, Clustered: true, Seed: 306},
+	{Name: "t3-5e-4", I: 512, J: 512, K: 512, NNZ: 67_000, Seed: 307},
+	{Name: "t3-2e-3", I: 384, J: 384, K: 384, NNZ: 113_000, Seed: 308},
+	{Name: "t3-1e-2", I: 256, J: 256, K: 256, NNZ: 168_000, Seed: 309},
+	{Name: "t3-5e-2", I: 192, J: 192, K: 192, NNZ: 354_000, Seed: 310},
+	{Name: "t3-1e-1", I: 128, J: 128, K: 128, NNZ: 210_000, Seed: 311},
+}
+
+// Generate materializes the tensor, scaled down by the given factor:
+// every mode shrinks by scale and the occupancy by scale (degree
+// preserving, like the matrix catalog).
+func (e TensorEntry) Generate(scale int) *tensor.CSF3 {
+	if scale < 1 {
+		scale = 1
+	}
+	i, j, k := e.I/scale, e.J/scale, e.K/scale
+	if i < 32 {
+		i = 32
+	}
+	if j < 32 {
+		j = 32
+	}
+	if k < 32 {
+		k = 32
+	}
+	nnz := e.NNZ / scale
+	if nnz < 16 {
+		nnz = 16
+	}
+	if maxNNZ := i * j * k / 4; nnz > maxNNZ {
+		nnz = maxNNZ
+	}
+	if e.Clustered {
+		clusters := nnz/64 + 1
+		return gen.Tensor3Clustered(i, j, k, nnz, clusters, 8, e.Seed)
+	}
+	return gen.Tensor3(i, j, k, nnz, e.Seed)
+}

@@ -1,0 +1,161 @@
+package workloads
+
+import (
+	"testing"
+
+	"drt/internal/gen"
+	"drt/internal/tensor"
+)
+
+func TestCatalogGenerates(t *testing.T) {
+	for _, e := range Table3 {
+		m := e.Generate(64)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if m.NNZ() == 0 {
+			t.Fatalf("%s generated empty", e.Name)
+		}
+		if m.Rows != m.Cols {
+			t.Fatalf("%s not square: %dx%d", e.Name, m.Rows, m.Cols)
+		}
+	}
+}
+
+func TestCatalogPatternGroups(t *testing.T) {
+	// The defining statistic of the two groups: unstructured (power-law)
+	// matrices have much higher row-length variation than banded ones
+	// (Fig. 8 sorts by exactly this).
+	var bandMax, rmatMin float64
+	rmatMin = 1e9
+	for _, e := range Table3 {
+		v := e.Generate(64).RowNNZVariation()
+		if e.Pattern == Diamond && v > bandMax {
+			bandMax = v
+		}
+		if e.Pattern == Unstructured && v < rmatMin {
+			rmatMin = v
+		}
+	}
+	if bandMax >= rmatMin {
+		t.Fatalf("pattern groups overlap in row variation: diamond max %.2f, unstructured min %.2f", bandMax, rmatMin)
+	}
+}
+
+func TestCatalogDegreePreserved(t *testing.T) {
+	// Scaling preserves the average row length (degree), the statistic
+	// that determines reuse behavior per row; collisions and clamps may
+	// shave it somewhat.
+	e, err := Lookup("pwtk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Generate(32)
+	targetDeg := float64(e.NNZ) / float64(e.N)
+	gotDeg := float64(m.NNZ()) / float64(m.Rows)
+	ratio := gotDeg / targetDeg
+	if ratio < 0.33 || ratio > 3 {
+		t.Fatalf("pwtk scaled degree %.1f vs target %.1f (ratio %.2f)", gotDeg, targetDeg, ratio)
+	}
+}
+
+func TestFig6Set(t *testing.T) {
+	set := Fig6Set()
+	if len(set) != 19 {
+		t.Fatalf("Fig. 6 set has %d entries, want 19", len(set))
+	}
+	// Densities increase within each pattern group.
+	for i := 1; i < len(set); i++ {
+		if set[i].Pattern == set[i-1].Pattern && set[i].Density() < set[i-1].Density() {
+			t.Fatalf("%s (%.2e) out of density order after %s (%.2e)",
+				set[i].Name, set[i].Density(), set[i-1].Name, set[i-1].Density())
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-matrix"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestTallSkinnyPair(t *testing.T) {
+	e, _ := Lookup("amazon0302")
+	f, fT := e.TallSkinnyPair(64, 128)
+	if f.Rows <= f.Cols {
+		t.Fatalf("F should be tall-skinny, got %dx%d", f.Rows, f.Cols)
+	}
+	if fT.Rows != f.Cols || fT.Cols != f.Rows {
+		t.Fatal("Fᵀ shape mismatch")
+	}
+}
+
+func TestMSBFSExpansion(t *testing.T) {
+	s := gen.RMAT(256, 2000, 0.57, 0.19, 0.19, 1)
+	init := gen.Frontier(256, 4, 2)
+	run, err := MSBFS(s, init, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Frontiers) == 0 {
+		t.Fatal("no iterations")
+	}
+	if run.Frontiers[0] != init {
+		t.Fatal("first frontier must be the initial one")
+	}
+	// Frontier rows stay within the graph and visited never shrinks.
+	if run.Visited < init.NNZ() {
+		t.Fatalf("visited %d below initial %d", run.Visited, init.NNZ())
+	}
+	// BFS must terminate with an empty frontier on a graph this small
+	// within 10 hops or simply stop growing.
+	last := run.Frontiers[len(run.Frontiers)-1]
+	if last.NNZ() == 0 {
+		t.Fatal("stored frontier should be non-empty (empty ones end the run)")
+	}
+}
+
+func TestMSBFSNeverRevisits(t *testing.T) {
+	s := gen.RMAT(128, 900, 0.57, 0.19, 0.19, 3)
+	init := gen.Frontier(128, 2, 4)
+	run, err := MSBFS(s, init, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < init.Rows; r++ {
+		seen := map[int]bool{}
+		for _, f := range run.Frontiers {
+			fr := f.Row(r)
+			for _, v := range fr.Coords {
+				if seen[v] {
+					t.Fatalf("source %d revisited vertex %d", r, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestMSBFSValidation(t *testing.T) {
+	rect := gen.Uniform(10, 20, 30, 1)
+	if _, err := MSBFS(rect, gen.Frontier(10, 2, 1), 5); err == nil {
+		t.Fatal("non-square adjacency accepted")
+	}
+	sq := gen.Uniform(10, 10, 30, 1)
+	if _, err := MSBFS(sq, gen.Frontier(99, 2, 1), 5); err == nil {
+		t.Fatal("mismatched frontier accepted")
+	}
+}
+
+func TestTensorSuiteGenerates(t *testing.T) {
+	for _, e := range TensorSuite {
+		x := e.Generate(8)
+		if err := x.Validate(); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if x.NNZ() == 0 {
+			t.Fatalf("%s empty", e.Name)
+		}
+	}
+	_ = tensor.CSF3{}
+}
