@@ -10,56 +10,129 @@
 //	drtbench -exp all               # the full evaluation
 //	drtbench -exp fig6 -scale 8     # closer to full scale (slower)
 //	drtbench -list                  # list experiment ids
+//	drtbench -exp fig6 -metrics-out fig6.json
+//
+// -metrics-out writes every experiment's table as structured JSON together
+// with the run metadata (scale, workload generator specs, VCS revision),
+// so the paper's tables can be reproduced from machine-readable data
+// instead of scraping text (see EXPERIMENTS.md). Exit codes: 2 for usage
+// errors, 1 for runtime errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"drt/internal/cli"
 	"drt/internal/exp"
+	"drt/internal/obs"
 )
+
+// expResult is one experiment's table in the -metrics-out dump.
+type expResult struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Seconds float64    `json:"seconds"`
+}
+
+type metricsDump struct {
+	Meta        map[string]string `json:"meta,omitempty"`
+	Experiments []expResult       `json:"experiments"`
+}
 
 func main() {
 	var (
-		expID     = flag.String("exp", "all", "experiment id (figN, sec65, tabN) or 'all'")
-		scale     = flag.Int("scale", 16, "workload scale-down factor (1 = full paper scale)")
-		microTile = flag.Int("microtile", 16, "micro tile edge in coordinates")
-		maxW      = flag.Int("workloads", 0, "cap on catalog entries per experiment (0 = all)")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		csv       = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		expID      = flag.String("exp", "all", "experiment id (figN, sec65, tabN) or 'all'")
+		scale      = flag.Int("scale", 16, "workload scale-down factor (1 = full paper scale)")
+		microTile  = flag.Int("microtile", 16, "micro tile edge in coordinates")
+		maxW       = flag.Int("workloads", 0, "cap on catalog entries per experiment (0 = all)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		metricsOut = flag.String("metrics-out", "", "write all tables and run metadata as JSON to this file")
 	)
+	prof := cli.AddProfileFlags()
 	flag.Parse()
+	defer cli.Cleanup()
+	stopProf := prof.Start("drtbench")
 
 	if *list {
 		fmt.Println(strings.Join(exp.Experiments(), "\n"))
 		return
 	}
 
-	c := exp.NewContext(exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW})
+	var rec *obs.Collector
+	if *metricsOut != "" {
+		rec = obs.NewCollector()
+		rec.SetMeta("cmd", "drtbench")
+		rec.SetMeta("exp", *expID)
+		rec.SetMeta("scale", fmt.Sprint(*scale))
+		rec.SetMeta("microtile", fmt.Sprint(*microTile))
+		for k, v := range obs.BuildMeta() {
+			rec.SetMeta(k, v)
+		}
+	}
+
+	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW}
+	if rec != nil {
+		opts.Rec = rec
+	}
+	c := exp.NewContext(opts)
 	ids := exp.Experiments()
 	if *expID != "all" {
 		ids = strings.Split(*expID, ",")
 	}
+	var dump metricsDump
 	for _, id := range ids {
-		f, ok := c.Runner(strings.TrimSpace(id))
+		id = strings.TrimSpace(id)
+		f, ok := c.Runner(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "drtbench: unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
+			cli.Usagef("drtbench: unknown experiment %q (use -list)", id)
 		}
+		span := rec.Begin(obs.CatPhase, "experiment")
 		start := time.Now()
 		table, err := f()
+		rec.End(span)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "drtbench: %s: %v\n", id, err)
-			os.Exit(1)
+			cli.Fatalf("drtbench: %s: %v", id, err)
 		}
+		elapsed := time.Since(start)
 		if *csv {
 			fmt.Printf("# %s\n%s\n", table.Title, table.CSV())
 		} else {
 			fmt.Println(table.String())
-			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
+		}
+		if *metricsOut != "" {
+			dump.Experiments = append(dump.Experiments, expResult{
+				ID:      id,
+				Title:   table.Title,
+				Headers: table.Headers,
+				Rows:    table.Rows(),
+				Seconds: elapsed.Seconds(),
+			})
+		}
+	}
+	stopProf()
+	if *metricsOut != "" {
+		dump.Meta = rec.Snapshot().Meta
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			cli.Fatalf("drtbench: -metrics-out: %v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dump); err != nil {
+			f.Close()
+			cli.Fatalf("drtbench: -metrics-out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			cli.Fatalf("drtbench: -metrics-out: %v", err)
 		}
 	}
 }

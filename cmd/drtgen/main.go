@@ -11,10 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 
+	"drt/internal/cli"
 	"drt/internal/metrics"
 	"drt/internal/tiling"
 	"drt/internal/workloads"
@@ -26,7 +27,11 @@ func main() {
 		scale     = flag.Int("scale", 16, "scale-down factor")
 		microTile = flag.Int("microtile", 16, "micro tile edge for the occupancy histogram")
 	)
+	prof := cli.AddProfileFlags()
 	flag.Parse()
+	defer cli.Cleanup()
+	stopProf := prof.Start("drtgen")
+	defer stopProf()
 
 	if *name == "" {
 		t := metrics.NewTable(fmt.Sprintf("Catalog at scale %d", *scale),
@@ -43,12 +48,14 @@ func main() {
 
 	e, err := workloads.Lookup(*name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "drtgen:", err)
-		os.Exit(2)
+		cli.Usagef("drtgen: %v", err)
 	}
 	m := e.Generate(*scale)
 	fmt.Printf("%s (scale %d): %dx%d, %d non-zeros, density %.3e, row variation %.3f\n",
 		e.Name, *scale, m.Rows, m.Cols, m.NNZ(), m.Density(), m.RowNNZVariation())
+	if spec, err := json.Marshal(e.Spec(*scale)); err == nil {
+		fmt.Printf("generator spec: %s\n", spec)
+	}
 
 	g := tiling.NewGrid(m, *microTile, *microTile)
 	// Occupancy histogram over non-empty micro tiles (powers of two).

@@ -7,13 +7,24 @@
 //	drtsim -matrix cant -accel extensor-op-drt
 //	drtsim -matrix cit-HepPh -accel extensor-op -scale 8
 //	drtsim -matrix pwtk -accel outerspace-drt
+//	drtsim -matrix cant -accel extensor-op-drt -json -trace-out trace.json
+//
+// With -json the report is emitted as a machine-readable JSON document on
+// stdout (schema in README.md "Observability"); -trace-out writes the
+// run's span timeline as a Chrome trace-event file for chrome://tracing or
+// Perfetto; -metrics-out writes the JSON report to a file regardless of
+// the stdout format. Exit codes: 2 for usage errors, 1 for runtime errors.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
+	"strings"
 
 	"drt"
 
@@ -21,56 +32,135 @@ import (
 	"drt/internal/accel/extensor"
 	"drt/internal/accel/matraptor"
 	"drt/internal/accel/outerspace"
+	"drt/internal/cli"
 	"drt/internal/energy"
 	"drt/internal/exp"
 	"drt/internal/metrics"
+	"drt/internal/obs"
 	"drt/internal/sim"
 	"drt/internal/workloads"
 )
 
+// accelNames lists every accepted -accel value; an unknown name is a
+// usage error, caught before any work starts.
+var accelNames = []string{
+	"extensor", "extensor-op", "extensor-op-drt",
+	"outerspace", "outerspace-suc", "outerspace-drt",
+	"matraptor", "matraptor-suc", "matraptor-drt",
+}
+
 func main() {
 	var (
-		name      = flag.String("matrix", "cant", "catalog matrix name")
-		accelName = flag.String("accel", "extensor-op-drt", "accelerator: extensor | extensor-op | extensor-op-drt | outerspace[-suc|-drt] | matraptor[-suc|-drt]")
-		scale     = flag.Int("scale", 16, "workload scale-down factor")
-		microTile = flag.Int("microtile", 16, "micro tile edge")
-		trace     = flag.Bool("trace", false, "render the DRT task tiling of the K×J plane as ASCII")
+		name       = flag.String("matrix", "cant", "catalog matrix name")
+		accelName  = flag.String("accel", "extensor-op-drt", "accelerator: "+strings.Join(accelNames, " | "))
+		scale      = flag.Int("scale", 16, "workload scale-down factor")
+		microTile  = flag.Int("microtile", 16, "micro tile edge")
+		trace      = flag.Bool("trace", false, "render the DRT task tiling of the K×J plane as ASCII")
+		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout instead of text")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the run's spans")
+		metricsOut = flag.String("metrics-out", "", "write the JSON report to this file")
 	)
+	prof := cli.AddProfileFlags()
 	flag.Parse()
+	defer cli.Cleanup()
+	stopProf := prof.Start("drtsim")
 
+	known := false
+	for _, a := range accelNames {
+		known = known || a == *accelName
+	}
+	if !known {
+		cli.Usagef("drtsim: unknown accelerator %q (choose from %s)", *accelName, strings.Join(accelNames, ", "))
+	}
 	e, err := workloads.Lookup(*name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "drtsim:", err)
-		os.Exit(2)
+		cli.Usagef("drtsim: %v", err)
 	}
+
+	// The collector is attached only when an observability output was
+	// requested, keeping the default run on the allocation-free path.
+	var rec *obs.Collector
+	if *jsonOut || *traceOut != "" || *metricsOut != "" {
+		rec = obs.NewCollector()
+		rec.SetMeta("cmd", "drtsim")
+		rec.SetMeta("matrix", e.Name)
+		rec.SetMeta("accel", *accelName)
+		rec.SetMeta("scale", fmt.Sprint(*scale))
+		rec.SetMeta("microtile", fmt.Sprint(*microTile))
+		rec.SetMeta("seed", fmt.Sprint(e.Seed))
+		if spec, err := json.Marshal(e.Spec(*scale)); err == nil {
+			rec.SetMeta("workload.spec", string(spec))
+		}
+		for k, v := range obs.BuildMeta() {
+			rec.SetMeta(k, v)
+		}
+	}
+
+	genSpan := rec.Begin(obs.CatPhase, "generate")
 	a := e.Generate(*scale)
 	w, err := accel.NewWorkload(e.Name, a, a, *microTile)
+	rec.End(genSpan)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "drtsim:", err)
-		os.Exit(1)
+		cli.Fatalf("drtsim: %v", err)
 	}
 	c := exp.NewContext(exp.Options{Scale: *scale, MicroTile: *microTile})
 	m := c.Machine()
-
-	r, err := run(*accelName, w, m)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "drtsim:", err)
-		os.Exit(1)
+	if rec != nil {
+		rec.SetMeta("machine.global_buffer_bytes", fmt.Sprint(m.GlobalBuffer))
+		rec.SetMeta("machine.pe_buffer_bytes", fmt.Sprint(m.PEBuffer))
+		rec.SetMeta("machine.pes", fmt.Sprint(m.PEs))
+		rec.SetMeta("machine.dram_bandwidth_bytes_per_s", fmt.Sprint(m.DRAMBandwidth))
 	}
-	print(w, r, m)
-	if *trace {
-		if err := printTrace(w, m, *microTile); err != nil {
-			fmt.Fprintln(os.Stderr, "drtsim:", err)
-			os.Exit(1)
+
+	r, err := run(*accelName, w, m, rec)
+	if err != nil {
+		cli.Fatalf("drtsim: %v", err)
+	}
+	stopProf()
+
+	if *jsonOut {
+		if err := writeJSONReport(os.Stdout, w, r, m, rec); err != nil {
+			cli.Fatalf("drtsim: -json: %v", err)
+		}
+	} else {
+		report(os.Stdout, w, r, m)
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, func(f io.Writer) error {
+			return writeJSONReport(f, w, r, m, rec)
+		}); err != nil {
+			cli.Fatalf("drtsim: -metrics-out: %v", err)
 		}
 	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, rec.WriteChromeTrace); err != nil {
+			cli.Fatalf("drtsim: -trace-out: %v", err)
+		}
+	}
+	if *trace {
+		if err := printTrace(w, *microTile); err != nil {
+			cli.Fatalf("drtsim: %v", err)
+		}
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printTrace plans the multiplication with the public DRT API and renders
 // each task's K×J tile of B as a lettered rectangle over a downsampled
 // canvas — nonuniform boxes, large over sparse regions, small over dense
 // ones.
-func printTrace(a *accel.Workload, m sim.Machine, microTile int) error {
+func printTrace(a *accel.Workload, microTile int) error {
 	// Budgets sized to a fraction of the operand footprints so the plane
 	// splits into enough tiles to see the nonuniform shapes.
 	fa, fb := a.InputFootprint()
@@ -116,11 +206,16 @@ func printTrace(a *accel.Workload, m sim.Machine, microTile int) error {
 	return nil
 }
 
-func run(name string, w *accel.Workload, m sim.Machine) (sim.Result, error) {
+func run(name string, w *accel.Workload, m sim.Machine, rec *obs.Collector) (sim.Result, error) {
+	var r obs.Recorder
+	if rec != nil {
+		r = rec
+	}
 	exOpt := extensor.DefaultOptions()
 	exOpt.Machine = m
-	osOpt := outerspace.Options{Machine: m, Partition: exOpt.Partition}
-	mrOpt := matraptor.Options{Machine: m, Partition: exOpt.Partition}
+	exOpt.Rec = r
+	osOpt := outerspace.Options{Machine: m, Partition: exOpt.Partition, Rec: r}
+	mrOpt := matraptor.Options{Machine: m, Partition: exOpt.Partition, Rec: r}
 	switch name {
 	case "extensor":
 		return extensor.Run(extensor.Original, w, exOpt)
@@ -144,19 +239,110 @@ func run(name string, w *accel.Workload, m sim.Machine) (sim.Result, error) {
 	return sim.Result{}, fmt.Errorf("unknown accelerator %q", name)
 }
 
-func print(w *accel.Workload, r sim.Result, m sim.Machine) {
+// report renders the plain-text result breakdown.
+func report(out io.Writer, w *accel.Workload, r sim.Result, m sim.Machine) {
 	fa, fb := w.InputFootprint()
-	fmt.Printf("workload %s: A %dx%d (%d nnz), MACCs %d\n",
+	fmt.Fprintf(out, "workload %s: A %dx%d (%d nnz), MACCs %d\n",
 		w.Name, w.A.Rows, w.A.Cols, w.A.NNZ(), w.MACCs)
-	fmt.Printf("input footprints: A %.3f MB, B %.3f MB, Z %.3f MB (read/write-once lower bound)\n",
+	fmt.Fprintf(out, "input footprints: A %.3f MB, B %.3f MB, Z %.3f MB (read/write-once lower bound)\n",
 		metrics.MB(fa), metrics.MB(fb), metrics.MB(w.OutputFootprint()))
-	fmt.Printf("DRAM traffic:     A %.3f MB, B %.3f MB, Z %.3f MB  (total %.3f MB)\n",
+	fmt.Fprintf(out, "DRAM traffic:     A %.3f MB, B %.3f MB, Z %.3f MB  (total %.3f MB)\n",
 		metrics.MB(r.Traffic.A), metrics.MB(r.Traffic.B), metrics.MB(r.Traffic.Z), metrics.MB(r.Traffic.Total()))
-	fmt.Printf("arithmetic intensity: %.4f MACC/byte\n", r.AI())
-	fmt.Printf("cycles: dram %.3e, compute %.3e, extract %.3e → runtime %.3e (%.3f ms)\n",
+	fmt.Fprintf(out, "arithmetic intensity: %.4f MACC/byte\n", r.AI())
+	fmt.Fprintf(out, "cycles: dram %.3e, compute %.3e, extract %.3e → runtime %.3e (%.3f ms)\n",
 		r.DRAMCycles, r.ComputeCycles, r.ExtractCycles, r.Cycles(), m.Seconds(r.Cycles())*1e3)
-	fmt.Printf("tasks: %d total, %d empty (skipped), %d overflows\n", r.Tasks, r.EmptyTasks, r.Overflows)
+	fmt.Fprintf(out, "tasks: %d total, %d empty (skipped), %d overflows\n", r.Tasks, r.EmptyTasks, r.Overflows)
 	br := energy.Estimate(r)
-	fmt.Printf("energy: %.3e J (dram %.1f%%, buffer %.1f%%, compute %.1f%%)\n",
+	fmt.Fprintf(out, "energy: %.3e J (dram %.1f%%, buffer %.1f%%, compute %.1f%%)\n",
 		br.Total(), 100*br.DRAM/br.Total(), 100*br.Buffer/br.Total(), 100*br.Compute/br.Total())
+}
+
+// jsonReport is the machine-readable mirror of report: traffic in exact
+// bytes (the text report's MB values are these divided by 1e6), plus the
+// collector's counters and histograms.
+type jsonReport struct {
+	Meta     map[string]string `json:"meta,omitempty"`
+	Workload struct {
+		Name string `json:"name"`
+		Rows int    `json:"rows"`
+		Cols int    `json:"cols"`
+		NNZ  int    `json:"nnz"`
+	} `json:"workload"`
+	MACCs    int64 `json:"maccs"`
+	Traffic  struct {
+		ABytes     int64 `json:"a_bytes"`
+		BBytes     int64 `json:"b_bytes"`
+		ZBytes     int64 `json:"z_bytes"`
+		TotalBytes int64 `json:"total_bytes"`
+	} `json:"traffic"`
+	ArithmeticIntensity float64 `json:"arithmetic_intensity"`
+	Cycles              struct {
+		DRAM          float64 `json:"dram"`
+		Compute       float64 `json:"compute"`
+		Extract       float64 `json:"extract"`
+		Runtime       float64 `json:"runtime"`
+		PipelineExact float64 `json:"pipeline_exact"`
+		Milliseconds  float64 `json:"milliseconds"`
+	} `json:"cycles"`
+	Tasks struct {
+		Total     int `json:"total"`
+		Empty     int `json:"empty"`
+		Overflows int `json:"overflows"`
+	} `json:"tasks"`
+	Energy struct {
+		TotalJ   float64 `json:"total_j"`
+		DRAMJ    float64 `json:"dram_j"`
+		BufferJ  float64 `json:"buffer_j"`
+		ComputeJ float64 `json:"compute_j"`
+	} `json:"energy"`
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Histograms map[string]obs.HistStat `json:"histograms,omitempty"`
+	Spans      int                     `json:"spans,omitempty"`
+}
+
+func writeJSONReport(out io.Writer, w *accel.Workload, r sim.Result, m sim.Machine, rec *obs.Collector) error {
+	var rep jsonReport
+	rep.Workload.Name = w.Name
+	rep.Workload.Rows = w.A.Rows
+	rep.Workload.Cols = w.A.Cols
+	rep.Workload.NNZ = w.A.NNZ()
+	rep.MACCs = w.MACCs
+	rep.Traffic.ABytes = r.Traffic.A
+	rep.Traffic.BBytes = r.Traffic.B
+	rep.Traffic.ZBytes = r.Traffic.Z
+	rep.Traffic.TotalBytes = r.Traffic.Total()
+	rep.ArithmeticIntensity = finite(r.AI())
+	rep.Cycles.DRAM = r.DRAMCycles
+	rep.Cycles.Compute = r.ComputeCycles
+	rep.Cycles.Extract = r.ExtractCycles
+	rep.Cycles.Runtime = r.Cycles()
+	rep.Cycles.PipelineExact = r.PipelineCyclesExact
+	rep.Cycles.Milliseconds = m.Seconds(r.Cycles()) * 1e3
+	rep.Tasks.Total = r.Tasks
+	rep.Tasks.Empty = r.EmptyTasks
+	rep.Tasks.Overflows = r.Overflows
+	br := energy.Estimate(r)
+	rep.Energy.TotalJ = br.Total()
+	rep.Energy.DRAMJ = br.DRAM
+	rep.Energy.BufferJ = br.Buffer
+	rep.Energy.ComputeJ = br.Compute
+	if rec != nil {
+		snap := rec.Snapshot()
+		rep.Meta = snap.Meta
+		rep.Counters = snap.Counters
+		rep.Histograms = snap.Histograms
+		rep.Spans = snap.Spans
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// finite clamps non-finite values (e.g. +Inf arithmetic intensity on a
+// zero-traffic run) to 0 so the report stays valid JSON.
+func finite(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"drt/internal/accel"
+	"drt/internal/exp"
+	"drt/internal/obs"
+	"drt/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportGolden pins the exact text report for one deterministic run:
+// generation is seeded and the simulator is closed-form, so any diff here
+// is a real behavior change (or an intentional one — regenerate with
+// `go test ./cmd/drtsim -run Golden -update`).
+func TestReportGolden(t *testing.T) {
+	const (
+		matrix    = "bcsstk17"
+		accelName = "extensor-op-drt"
+		scale     = 64
+		microTile = 8
+	)
+	e, err := workloads.Lookup(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e.Generate(scale)
+	w, err := accel.NewWorkload(e.Name, a, a, microTile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := exp.NewContext(exp.Options{Scale: scale, MicroTile: microTile}).Machine()
+	r, err := run(accelName, w, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	report(&buf, w, r, m)
+
+	golden := filepath.Join("testdata", "report_bcsstk17.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report diverged from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestJSONMatchesText checks the acceptance invariant: the JSON report's
+// exact traffic bytes are the same Result the text report formats, and the
+// recorder's counters agree with both.
+func TestJSONMatchesText(t *testing.T) {
+	e, err := workloads.Lookup("bcsstk17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e.Generate(64)
+	w, err := accel.NewWorkload(e.Name, a, a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := exp.NewContext(exp.Options{Scale: 64, MicroTile: 8}).Machine()
+	rec := obs.NewCollector()
+	r, err := run("extensor-op-drt", w, m, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{
+		"traffic.a_bytes": r.Traffic.A,
+		"traffic.b_bytes": r.Traffic.B,
+		"traffic.z_bytes": r.Traffic.Z,
+		"engine.maccs":    r.MACCs,
+	} {
+		if got := rec.Counter(name); got != want {
+			t.Errorf("counter %s = %d, result says %d", name, got, want)
+		}
+	}
+}

@@ -19,12 +19,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"drt"
 
 	"drt/internal/accel"
 	"drt/internal/accel/extensor"
+	"drt/internal/cli"
 	"drt/internal/kernels"
 	"drt/internal/workloads"
 )
@@ -34,7 +34,10 @@ func main() {
 		scale     = flag.Int("scale", 48, "workload scale-down factor")
 		microTile = flag.Int("microtile", 8, "micro tile edge")
 	)
+	prof := cli.AddProfileFlags()
 	flag.Parse()
+	defer cli.Cleanup()
+	stopProf := prof.Start("drtvalidate")
 
 	failures := 0
 	for _, e := range workloads.Table3 {
@@ -45,9 +48,9 @@ func main() {
 			fmt.Printf("ok    %s\n", e.Name)
 		}
 	}
+	stopProf()
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "drtvalidate: %d of %d workloads failed\n", failures, len(workloads.Table3))
-		os.Exit(1)
+		cli.Fatalf("drtvalidate: %d of %d workloads failed", failures, len(workloads.Table3))
 	}
 	fmt.Printf("all %d workloads validated\n", len(workloads.Table3))
 }

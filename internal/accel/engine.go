@@ -6,6 +6,7 @@ import (
 	"drt/internal/core"
 	"drt/internal/extractor"
 	"drt/internal/kernels"
+	"drt/internal/obs"
 	"drt/internal/sim"
 	"drt/internal/tensor"
 )
@@ -41,6 +42,11 @@ type EngineOptions struct {
 	// to be spilled" and leave growth unconstrained, paying spill traffic
 	// through the output model.
 	ConstrainOutput bool
+	// Rec, when non-nil, receives the run's instrumentation: per-task
+	// spans on the simulated-cycle timeline, tile-size and task-cycle
+	// histograms, and the traffic/task counters. Leave nil to keep the
+	// task loop allocation-free.
+	Rec obs.Recorder
 }
 
 // PELevelOptions configures the inner (LLB→PE) tiling level.
@@ -165,6 +171,9 @@ func maxI64(a, b int64) int64 {
 // multiply-and-merge model. It verifies the task partition covers the
 // kernel exactly.
 func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
+	rec := obs.OrNop(opt.Rec)
+	runSpan := rec.Begin(obs.CatPhase, "simulate")
+	defer rec.End(runSpan)
 	k := w.Kernel(opt.CapA, opt.CapB)
 	if opt.ConstrainOutput {
 		k = w.KernelWithOutput(opt.CapA, opt.CapB, opt.CapO)
@@ -194,6 +203,7 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 	var extractTotal float64
 	var inputTraffic int64
 	var pipe sim.Pipeline
+	pipe.Rec = opt.Rec
 
 	for {
 		t, ok, err := e.Next()
@@ -210,6 +220,12 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 		for oi := 0; oi < 2; oi++ {
 			if t.Rebuilt[oi] {
 				pendingLoad[oi] = t.OpFootprint[oi]
+				rec.Count("engine.tile_rebuilds", 1)
+				if oi == OpA {
+					rec.Observe("tile.a_bytes", float64(t.OpFootprint[oi]))
+				} else {
+					rec.Observe("tile.b_bytes", float64(t.OpFootprint[oi]))
+				}
 			}
 		}
 		if t.Empty {
@@ -236,6 +252,7 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 		jR := kernels.Range{Lo: t.Ranges[DimJ].Lo * mt, Hi: t.Ranges[DimJ].Hi * mt}
 		kR := kernels.Range{Lo: t.Ranges[DimK].Lo * mt, Hi: t.Ranges[DimK].Hi * mt}
 		tr := kernels.RestrictedGustavson(w.A, w.B, iR, kR, jR, spa)
+		tr.Record(opt.Rec)
 		res.MACCs += tr.MACCs
 		res.IntersectOps += tr.ScannedA + 2*tr.MACCs
 
@@ -268,12 +285,16 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 		// Extraction pipeline bookkeeping: phase total plus an explicit
 		// event-driven schedule (extract → fetch → compute per task with
 		// double buffering and per-request DRAM latency).
-		taskExtract := extractor.TaskCost(opt.Extractor, &t).Total()
+		cost := extractor.TaskCost(opt.Extractor, &t)
+		cost.Record(opt.Rec)
+		taskExtract := cost.Total()
 		extractTotal += taskExtract
 		fetch := 0.0
 		if taskBytes > 0 {
 			fetch = opt.Machine.DRAMLatency + opt.Machine.DRAMCycles(taskBytes)
 		}
+		rec.Observe("task.input_bytes", float64(taskBytes))
+		rec.Observe("task.compute_cycles", taskCompute)
 		pipe.Push(taskExtract, fetch, taskCompute)
 	}
 	out.flush()
@@ -297,6 +318,7 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 	if opt.PELevel == nil {
 		res.NoCBytes = inputTraffic
 	}
+	res.RecordTo(opt.Rec)
 	return res, nil
 }
 
@@ -312,6 +334,7 @@ type peLevelStats struct {
 // distributes the resulting sub-tasks round-robin across the PE array.
 func runPELevel(w *Workload, opt *EngineOptions, outer *core.Task, pe *sim.PEArray, spa *kernels.SPA) (peLevelStats, error) {
 	var st peLevelStats
+	rec := obs.OrNop(opt.Rec)
 	pl := opt.PELevel
 	k := w.Kernel(pl.CapA, pl.CapB)
 	cfg := &core.Config{
@@ -360,6 +383,7 @@ func runPELevel(w *Workload, opt *EngineOptions, outer *core.Task, pe *sim.PEArr
 			if seenRegions[oi][reg] {
 				// Multicast replay of an already-distributed sub-tile.
 				pending[oi] = t.OpFootprint[oi] / int64(opt.Machine.PEs)
+				rec.Count("pe.multicast_replays", 1)
 				continue
 			}
 			pending[oi] = t.OpFootprint[oi]
@@ -390,6 +414,8 @@ func runPELevel(w *Workload, opt *EngineOptions, outer *core.Task, pe *sim.PEArr
 		cycles := sim.ComputeCycles(opt.Intersect, tr.ScannedA+2*tr.MACCs, tr.MACCs)
 		pe.Assign(cycles)
 		st.computeSum += cycles
+		rec.Count("pe.subtasks", 1)
+		rec.Observe("pe.subtask_cycles", cycles)
 	}
 	return st, nil
 }

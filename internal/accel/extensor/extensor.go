@@ -17,6 +17,7 @@ import (
 	"drt/internal/accel"
 	"drt/internal/core"
 	"drt/internal/extractor"
+	"drt/internal/obs"
 	"drt/internal/sim"
 	"drt/internal/tensor"
 )
@@ -70,6 +71,12 @@ type Options struct {
 	// like MS-BFS sweep once per workload, not once per kernel (Sec. 5.2:
 	// the paper sweeps per workload).
 	StaticShape []int
+	// Rec, when non-nil, receives the run's instrumentation (see
+	// accel.EngineOptions.Rec). The static-shape sweep records only the
+	// winning shape's run, so an attached recorder's totals match the
+	// returned Result; the winning configuration is re-simulated once for
+	// that, an overhead only paid when a recorder is attached.
+	Rec obs.Recorder
 }
 
 // DefaultOptions returns the normalized configuration of Sec. 5.2.1.
@@ -108,10 +115,10 @@ func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 		base.Extractor = extractor.IdealExtractor // no DRT hardware
 		if opt.StaticShape != nil {
 			base.InitialSize = opt.StaticShape
+			base.Rec = opt.Rec
 			return accel.RunTasks(w, base)
 		}
-		r, _, err := sweepStatic(w, base, capA, capB)
-		return r, err
+		return runSweep(w, base, capA, capB, opt.Rec)
 	case OP:
 		// B-stationary outer-product-style dataflow: J → K → I.
 		base.LoopOrder = []int{accel.DimJ, accel.DimK, accel.DimI}
@@ -119,14 +126,15 @@ func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 		base.Extractor = extractor.IdealExtractor
 		if opt.StaticShape != nil {
 			base.InitialSize = opt.StaticShape
+			base.Rec = opt.Rec
 			return accel.RunTasks(w, base)
 		}
-		r, _, err := sweepStatic(w, base, capA, capB)
-		return r, err
+		return runSweep(w, base, capA, capB, opt.Rec)
 	case OPDRT:
 		base.LoopOrder = []int{accel.DimJ, accel.DimK, accel.DimI}
 		base.Strategy = opt.Strategy
 		base.InitialSize = opt.InitialSize
+		base.Rec = opt.Rec
 		if !opt.SingleLevel {
 			// Second tiling level: each LLB tile is re-tiled into PE
 			// sub-tiles with the K → I → J dataflow of Fig. 5.
@@ -175,6 +183,22 @@ func staticShapes(w *accel.Workload, capA, capB int64) [][3]int {
 		shape(side/2, side*2),
 		shape(side*4, side/4),
 	}
+}
+
+// runSweep performs the static-shape sweep and, when a recorder is
+// attached, re-simulates the winning shape with instrumentation so the
+// recorder reflects exactly one run — the one whose Result is returned —
+// rather than the sum of all candidates.
+func runSweep(w *accel.Workload, base accel.EngineOptions, capA, capB int64, rec obs.Recorder) (sim.Result, error) {
+	r, shape, err := sweepStatic(w, base, capA, capB)
+	if err != nil || rec == nil {
+		return r, err
+	}
+	sweepSpan := rec.Begin(obs.CatPhase, "sweep-replay")
+	defer rec.End(sweepSpan)
+	base.InitialSize = shape
+	base.Rec = rec
+	return accel.RunTasks(w, base)
 }
 
 // sweepStatic runs every candidate static shape and returns the best

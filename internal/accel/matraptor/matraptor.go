@@ -12,6 +12,7 @@ import (
 	"drt/internal/accel"
 	"drt/internal/core"
 	"drt/internal/extractor"
+	"drt/internal/obs"
 	"drt/internal/sim"
 	"drt/internal/tensor"
 )
@@ -47,6 +48,9 @@ func (v Variant) String() string {
 type Options struct {
 	Machine   sim.Machine
 	Partition sim.Partition
+	// Rec, when non-nil, receives the run's instrumentation (see
+	// accel.EngineOptions.Rec).
+	Rec obs.Recorder
 }
 
 // DefaultOptions matches the normalized machine of Sec. 5.2.
@@ -70,6 +74,7 @@ func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 			Intersect: sim.SerialOptimal,
 			Extractor: extractor.IdealExtractor,
 			Strategy:  core.Static,
+			Rec:       opt.Rec,
 		}
 		if v == DRT {
 			eo.Strategy = core.GreedyContractedFirst
@@ -103,6 +108,7 @@ func untiled(w *accel.Workload, opt Options) sim.Result {
 	res.Traffic.Z = w.OutputFootprint()
 	res.DRAMCycles = opt.Machine.DRAMCycles(res.Traffic.Total())
 	res.ComputeCycles = float64(w.MACCs) / float64(opt.Machine.PEs)
+	res.RecordTo(opt.Rec)
 	return res
 }
 

@@ -1,0 +1,119 @@
+// Package cli carries the conventions shared by the four drt commands:
+// uniform error handling (usage errors print to stderr and exit 2, runtime
+// errors exit 1), and the -cpuprofile/-memprofile pprof flags every
+// command exposes. Registered cleanups (e.g. an in-flight CPU profile) run
+// before either exit path so diagnostics survive failed runs.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Exit codes shared by all commands.
+const (
+	ExitRuntime = 1 // the run itself failed
+	ExitUsage   = 2 // the invocation was malformed (bad flag value, unknown name)
+)
+
+var (
+	exit = os.Exit // swapped out by tests
+
+	cleanupMu sync.Mutex
+	cleanups  []func()
+)
+
+// AtExit registers f to run (last-registered first) before Fatalf or
+// Usagef terminate the process, and when Cleanup is called on the normal
+// path. Each registered function runs at most once.
+func AtExit(f func()) {
+	once := sync.Once{}
+	cleanupMu.Lock()
+	cleanups = append(cleanups, func() { once.Do(f) })
+	cleanupMu.Unlock()
+}
+
+// Cleanup runs every registered cleanup; main functions should defer it.
+func Cleanup() {
+	cleanupMu.Lock()
+	fs := make([]func(), len(cleanups))
+	copy(fs, cleanups)
+	cleanupMu.Unlock()
+	for i := len(fs) - 1; i >= 0; i-- {
+		fs[i]()
+	}
+}
+
+// Fatalf reports a runtime error on stderr and exits with code 1.
+// The command name prefix (e.g. "drtsim: ") belongs in format.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	Cleanup()
+	exit(ExitRuntime)
+}
+
+// Usagef reports a usage error on stderr and exits with code 2.
+func Usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	Cleanup()
+	exit(ExitUsage)
+}
+
+// Profiles holds the -cpuprofile/-memprofile flag values.
+type Profiles struct {
+	CPU, Mem *string
+}
+
+// AddProfileFlags registers the pprof flags on the default flag set.
+func AddProfileFlags() *Profiles {
+	return &Profiles{
+		CPU: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins profiling per the parsed flags and returns a stop function
+// (also registered via AtExit, so profiles are written even when the
+// command exits through Fatalf/Usagef). cmd prefixes error messages.
+func (p *Profiles) Start(cmd string) func() {
+	var cpuFile *os.File
+	if *p.CPU != "" {
+		f, err := os.Create(*p.CPU)
+		if err != nil {
+			Fatalf("%s: -cpuprofile: %v", cmd, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			Fatalf("%s: -cpuprofile: %v", cmd, err)
+		}
+		cpuFile = f
+	}
+	mem := *p.Mem
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if mem != "" {
+				f, err := os.Create(mem)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", cmd, err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // materialize up-to-date heap statistics
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: -memprofile: %v\n", cmd, err)
+				}
+			}
+		})
+	}
+	AtExit(stop)
+	return stop
+}

@@ -11,10 +11,12 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"drt/internal/accel"
 	"drt/internal/cpuref"
+	"drt/internal/obs"
 	"drt/internal/sim"
 	"drt/internal/workloads"
 )
@@ -29,6 +31,11 @@ type Options struct {
 	// MaxWorkloads caps the number of catalog entries per experiment
 	// (0 = all); tests and quick benches use small values.
 	MaxWorkloads int
+	// Rec, when non-nil, receives run metadata (each prepared workload's
+	// generator spec) and wall-clock phase spans for workload preparation,
+	// so the benchmark harness's metrics dump records how to rebuild every
+	// synthetic input exactly.
+	Rec obs.Recorder
 }
 
 // DefaultOptions is the configuration drtbench uses.
@@ -91,6 +98,12 @@ func (c *Context) CPU() cpuref.CPU {
 func (c *Context) Square(e workloads.Entry) (*accel.Workload, error) {
 	if w, ok := c.spmspm[e.Name]; ok {
 		return w, nil
+	}
+	rec := obs.OrNop(c.Opt.Rec)
+	span := rec.Begin(obs.CatPhase, "prepare")
+	defer rec.End(span)
+	if spec, err := json.Marshal(e.Spec(c.Opt.Scale)); err == nil {
+		rec.SetMeta("workload."+e.Name+".spec", string(spec))
 	}
 	a := e.Generate(c.Opt.Scale)
 	w, err := accel.NewWorkload(e.Name, a, a, c.Opt.MicroTile)

@@ -7,7 +7,10 @@
 // < 1% end-to-end overhead versus an ideal zero-cycle extractor (Sec. 6.5).
 package extractor
 
-import "drt/internal/core"
+import (
+	"drt/internal/core"
+	"drt/internal/obs"
+)
 
 // Width is the P-word vector width of the Aggregate unit's reads into the
 // compressed representation (the evaluation uses P = 32 with a P-to-1
@@ -45,6 +48,18 @@ type Cost struct {
 // MD-build for tile i overlap Distribute for tile i-1 via the buffers'
 // second port, so only the non-hidden portion reaches the runtime.
 func (c Cost) Total() float64 { return c.Aggregate + c.MDBuild }
+
+// Record publishes the per-task extraction breakdown into the recorder's
+// histograms (the Sec. 6.5 overhead study reads these distributions). rec
+// may be nil; the call is allocation-free on the no-op path.
+func (c Cost) Record(rec obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Observe("extract.aggregate_cycles", c.Aggregate)
+	rec.Observe("extract.mdbuild_cycles", c.MDBuild)
+	rec.Count("extract.tasks", 1)
+}
 
 // TaskCost models the extraction cycles of one DRT task from the probe
 // statistics the core algorithm recorded.

@@ -17,10 +17,77 @@
 package gen
 
 import (
+	"fmt"
 	"math/rand"
 
 	"drt/internal/tensor"
 )
+
+// Spec records one matrix-generator invocation exactly: the generator
+// kind, its shape and occupancy targets, every distribution parameter and
+// the RNG seed. A Spec both builds the matrix (Build) and serializes into
+// run metadata (it marshals to JSON as-is), so any synthetic run can be
+// reproduced bit-for-bit from its recorded metadata alone.
+type Spec struct {
+	// Kind selects the generator: "uniform", "banded", "rmat",
+	// "frontier" or "tallskinny".
+	Kind string `json:"kind"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+	// NNZ is the non-zero target for the uniform/rmat/tallskinny kinds;
+	// banded and frontier derive their occupancy from their own
+	// parameters and keep it here as a record only.
+	NNZ  int   `json:"nnz,omitempty"`
+	Seed int64 `json:"seed"`
+
+	// Banded parameters.
+	HalfBand  int     `json:"half_band,omitempty"`
+	BlockSize int     `json:"block_size,omitempty"`
+	Fill      float64 `json:"fill,omitempty"`
+
+	// RMAT quadrant probabilities (d is the 1-a-b-c remainder).
+	A float64 `json:"rmat_a,omitempty"`
+	B float64 `json:"rmat_b,omitempty"`
+	C float64 `json:"rmat_c,omitempty"`
+}
+
+// Build materializes the matrix the spec describes.
+func (s Spec) Build() (*tensor.CSR, error) {
+	switch s.Kind {
+	case "uniform":
+		return Uniform(s.Rows, s.Cols, s.NNZ, s.Seed), nil
+	case "tallskinny":
+		return TallSkinny(s.Rows, s.Cols, s.NNZ, s.Seed), nil
+	case "banded":
+		if s.Rows != s.Cols {
+			return nil, fmt.Errorf("gen: banded spec must be square, got %dx%d", s.Rows, s.Cols)
+		}
+		return Banded(s.Rows, s.HalfBand, s.BlockSize, s.Fill, s.Seed), nil
+	case "rmat":
+		if s.Rows != s.Cols {
+			return nil, fmt.Errorf("gen: rmat spec must be square, got %dx%d", s.Rows, s.Cols)
+		}
+		return RMAT(s.Rows, s.NNZ, s.A, s.B, s.C, s.Seed), nil
+	case "frontier":
+		return Frontier(s.Cols, s.Rows, s.Seed), nil
+	}
+	return nil, fmt.Errorf("gen: unknown generator kind %q", s.Kind)
+}
+
+// String renders the spec as a compact key=value line for logs.
+func (s Spec) String() string {
+	out := fmt.Sprintf("kind=%s rows=%d cols=%d seed=%d", s.Kind, s.Rows, s.Cols, s.Seed)
+	if s.NNZ > 0 {
+		out += fmt.Sprintf(" nnz=%d", s.NNZ)
+	}
+	switch s.Kind {
+	case "banded":
+		out += fmt.Sprintf(" half_band=%d block_size=%d fill=%g", s.HalfBand, s.BlockSize, s.Fill)
+	case "rmat":
+		out += fmt.Sprintf(" a=%g b=%g c=%g", s.A, s.B, s.C)
+	}
+	return out
+}
 
 // Uniform returns an Erdős–Rényi style matrix with approximately nnz
 // non-zeros placed uniformly at random with values in (0, 1].

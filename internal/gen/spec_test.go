@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpecBuildMatchesDirectCalls checks a Spec reproduces the exact
+// matrix the direct generator call produces — the reproducibility contract
+// run metadata relies on.
+func TestSpecBuildMatchesDirectCalls(t *testing.T) {
+	cases := []struct {
+		spec   Spec
+		direct func() interface{ NNZ() int }
+	}{
+		{Spec{Kind: "uniform", Rows: 100, Cols: 80, NNZ: 300, Seed: 7},
+			func() interface{ NNZ() int } { return Uniform(100, 80, 300, 7) }},
+		{Spec{Kind: "banded", Rows: 128, Cols: 128, Seed: 9, HalfBand: 8, BlockSize: 4, Fill: 0.5},
+			func() interface{ NNZ() int } { return Banded(128, 8, 4, 0.5, 9) }},
+		{Spec{Kind: "rmat", Rows: 128, Cols: 128, NNZ: 400, Seed: 11, A: 0.57, B: 0.19, C: 0.19},
+			func() interface{ NNZ() int } { return RMAT(128, 400, 0.57, 0.19, 0.19, 11) }},
+		{Spec{Kind: "frontier", Rows: 16, Cols: 256, Seed: 13},
+			func() interface{ NNZ() int } { return Frontier(256, 16, 13) }},
+		{Spec{Kind: "tallskinny", Rows: 256, Cols: 16, NNZ: 300, Seed: 15},
+			func() interface{ NNZ() int } { return TallSkinny(256, 16, 300, 15) }},
+	}
+	for _, tc := range cases {
+		got, err := tc.spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.spec.Kind, err)
+		}
+		want := tc.direct()
+		if got.NNZ() != want.NNZ() {
+			t.Errorf("%s: Build nnz %d != direct nnz %d", tc.spec.Kind, got.NNZ(), want.NNZ())
+		}
+		// Same seed, same generator: building twice is bit-identical.
+		again, _ := tc.spec.Build()
+		if got.NNZ() != again.NNZ() {
+			t.Errorf("%s: rebuild diverged", tc.spec.Kind)
+		}
+		for p := range got.Val {
+			if got.Val[p] != again.Val[p] || got.Idx[p] != again.Idx[p] {
+				t.Fatalf("%s: rebuild value stream diverged at %d", tc.spec.Kind, p)
+			}
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	if _, err := (Spec{Kind: "nope"}).Build(); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	if _, err := (Spec{Kind: "banded", Rows: 10, Cols: 20}).Build(); err == nil {
+		t.Fatal("non-square banded should error")
+	}
+	if _, err := (Spec{Kind: "rmat", Rows: 10, Cols: 20}).Build(); err == nil {
+		t.Fatal("non-square rmat should error")
+	}
+}
+
+func TestSpecRoundTripAndString(t *testing.T) {
+	s := Spec{Kind: "banded", Rows: 128, Cols: 128, NNZ: 512, Seed: 42, HalfBand: 8, BlockSize: 4, Fill: 0.5}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatalf("round trip changed spec: %+v != %+v", back, s)
+	}
+	str := s.String()
+	for _, want := range []string{"kind=banded", "seed=42", "half_band=8", "fill=0.5"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() missing %q: %s", want, str)
+		}
+	}
+}

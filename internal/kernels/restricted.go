@@ -3,6 +3,7 @@ package kernels
 import (
 	"sort"
 
+	"drt/internal/obs"
 	"drt/internal/tensor"
 )
 
@@ -76,6 +77,20 @@ func RestrictedGustavson(a, b *tensor.CSR, iR, kR, jR Range, spa *SPA) TaskResul
 		}
 	}
 	return res
+}
+
+// Record publishes the task's effectual-work distribution into the
+// recorder's histograms: per-task MACCs, intersection stream length,
+// partial-output points and active rows. rec may be nil; the call is
+// allocation-free on the no-op path.
+func (r *TaskResult) Record(rec obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Observe("kernel.task_maccs", float64(r.MACCs))
+	rec.Observe("kernel.task_scanned_a", float64(r.ScannedA))
+	rec.Observe("kernel.task_output_nnz", float64(r.OutputNNZ))
+	rec.Observe("kernel.task_rows", float64(len(r.Rows)))
 }
 
 // SPA is a dense sparse accumulator with generation-counter clearing,

@@ -86,6 +86,16 @@ func (t *Table) AddRow(cells ...any) {
 // NumRows returns the number of data rows added.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns a copy of the formatted data rows, for structured exports
+// (e.g. the benchmark harness's JSON metrics dump).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Headers))

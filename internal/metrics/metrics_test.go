@@ -41,6 +41,60 @@ func TestGeomean(t *testing.T) {
 	}
 }
 
+func TestGeomeanAllNonpositive(t *testing.T) {
+	// Every input filtered out → 0, not NaN from Exp(0/0).
+	for _, xs := range [][]float64{
+		{0, 0, 0},
+		{-1, -2},
+		{math.Inf(1), math.Inf(-1), math.NaN()},
+		{},
+	} {
+		if g := Geomean(xs); g != 0 {
+			t.Errorf("geomean(%v) = %g, want 0", xs, g)
+		}
+	}
+}
+
+func TestArithmeticIntensityEdges(t *testing.T) {
+	// Zero MACCs over zero bytes still reports +Inf (zero traffic
+	// dominates); zero MACCs over real traffic is an honest 0.
+	if !math.IsInf(ArithmeticIntensity(0, 0), 1) {
+		t.Fatal("AI(0,0) should be +Inf")
+	}
+	if ai := ArithmeticIntensity(0, 128); ai != 0 {
+		t.Fatalf("AI(0,128) = %g, want 0", ai)
+	}
+}
+
+func TestTableEmptyRows(t *testing.T) {
+	tb := NewTable("Empty", "matrix", "speedup")
+	if tb.NumRows() != 0 {
+		t.Fatalf("NumRows = %d, want 0", tb.NumRows())
+	}
+	if rows := tb.Rows(); len(rows) != 0 {
+		t.Fatalf("Rows() = %v, want empty", rows)
+	}
+	// Rendering must not panic and must still emit title + headers.
+	s := tb.String()
+	if !strings.Contains(s, "== Empty ==") || !strings.Contains(s, "matrix") {
+		t.Fatalf("empty table rendering lost header:\n%s", s)
+	}
+	csv := tb.CSV()
+	if strings.TrimSpace(csv) != "matrix,speedup" {
+		t.Fatalf("empty table CSV = %q", csv)
+	}
+}
+
+func TestTableRowsIsACopy(t *testing.T) {
+	tb := NewTable("x", "a")
+	tb.AddRow("original")
+	rows := tb.Rows()
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] != "original" {
+		t.Fatal("Rows() exposed internal storage")
+	}
+}
+
 func TestGeomeanBoundsQuick(t *testing.T) {
 	// The geometric mean lies between min and max of positive inputs.
 	f := func(a, b, c uint8) bool {

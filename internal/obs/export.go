@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime/debug"
+	"sort"
+)
+
+// Bucket is one power-of-two histogram bucket: Count samples had values in
+// [Le/2, Le) (the first bucket covers values below 1).
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistStat is the exported aggregate of one histogram.
+type HistStat struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is the flat, machine-readable state of a collector: run
+// metadata, counters and histogram aggregates. It marshals directly to the
+// JSON schema documented in README.md ("Observability").
+type Snapshot struct {
+	Meta         map[string]string   `json:"meta,omitempty"`
+	Counters     map[string]int64    `json:"counters,omitempty"`
+	Histograms   map[string]HistStat `json:"histograms,omitempty"`
+	Spans        int                 `json:"spans"`
+	DroppedSpans int64               `json:"dropped_spans,omitempty"`
+}
+
+// Snapshot returns a copy of the collector's aggregate state.
+func (c *Collector) Snapshot() Snapshot {
+	snap := Snapshot{}
+	if c == nil {
+		return snap
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.meta) > 0 {
+		snap.Meta = make(map[string]string, len(c.meta))
+		for _, kv := range c.meta {
+			snap.Meta[kv.k] = kv.v
+		}
+	}
+	if len(c.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(c.counters))
+		for k, v := range c.counters {
+			snap.Counters[k] = v
+		}
+	}
+	if len(c.hists) > 0 {
+		snap.Histograms = make(map[string]HistStat, len(c.hists))
+		for k, h := range c.hists {
+			st := HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+			if h.count > 0 {
+				st.Mean = h.sum / float64(h.count)
+			}
+			for i, n := range h.buckets {
+				if n == 0 {
+					continue
+				}
+				st.Buckets = append(st.Buckets, Bucket{Le: math.Ldexp(1, i), Count: n})
+			}
+			snap.Histograms[k] = st
+		}
+	}
+	snap.Spans = len(c.spans)
+	snap.DroppedSpans = c.dropped
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Snapshot())
+}
+
+// WriteCSV writes the snapshot as flat CSV rows of the form
+// section,name,field,value — one row per metadatum, counter, and histogram
+// aggregate — for spreadsheet-side analysis.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	snap := c.Snapshot()
+	if _, err := fmt.Fprintln(w, "section,name,field,value"); err != nil {
+		return err
+	}
+	quote := func(s string) string {
+		needs := false
+		for _, r := range s {
+			if r == ',' || r == '"' || r == '\n' {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			return s
+		}
+		out := `"`
+		for _, r := range s {
+			if r == '"' {
+				out += `""`
+			} else {
+				out += string(r)
+			}
+		}
+		return out + `"`
+	}
+	for _, k := range sortedKeys(snap.Meta) {
+		if _, err := fmt.Fprintf(w, "meta,%s,value,%s\n", quote(k), quote(snap.Meta[k])); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(snap.Counters) {
+		if _, err := fmt.Fprintf(w, "counter,%s,value,%d\n", quote(k), snap.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[k]
+		for _, f := range []struct {
+			field string
+			v     float64
+		}{
+			{"count", float64(h.Count)},
+			{"sum", h.Sum},
+			{"min", h.Min},
+			{"max", h.Max},
+			{"mean", h.Mean},
+		} {
+			if _, err := fmt.Fprintf(w, "hist,%s,%s,%g\n", quote(k), f.field, f.v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// BuildMeta returns the binary's VCS identity (revision, commit time,
+// dirty flag) and Go version from the build info the toolchain stamps into
+// the binary — the "git describe" of the run metadata. Fields are absent
+// when the binary was built outside a VCS checkout (e.g. go test).
+func BuildMeta() map[string]string {
+	out := map[string]string{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out["go.version"] = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out["vcs.revision"] = s.Value
+		case "vcs.time":
+			out["vcs.time"] = s.Value
+		case "vcs.modified":
+			out["vcs.modified"] = s.Value
+		}
+	}
+	return out
+}

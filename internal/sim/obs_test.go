@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"drt/internal/obs"
+)
+
+// TestPipelinePushZeroAlloc verifies the per-task hot path stays
+// allocation-free both with no recorder attached and with the no-op
+// recorder boxed into the interface.
+func TestPipelinePushZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rec  obs.Recorder
+	}{
+		{"no recorder", nil},
+		{"nop recorder", obs.Nop{}},
+	} {
+		var p Pipeline
+		p.Rec = tc.rec
+		allocs := testing.AllocsPerRun(1000, func() {
+			p.Push(3, 7, 11)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Push allocates %g per run, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestPipelineSpans checks that an attached collector sees one span per
+// occupied stage with the pipeline's start/duration schedule.
+func TestPipelineSpans(t *testing.T) {
+	c := obs.NewCollector()
+	p := Pipeline{Rec: c}
+	p.Push(2, 3, 5)  // occupies all three stages
+	p.Push(0, 4, 1)  // extract skipped
+	if got, want := c.SpanCount(), 5; got != want {
+		t.Fatalf("spans = %d, want %d", got, want)
+	}
+	cats := c.Categories()
+	if len(cats) != 2 || cats[0] != obs.CatExtraction || cats[1] != obs.CatTask {
+		t.Fatalf("categories = %v", cats)
+	}
+}
+
+// TestResultRecordTo checks phase spans and ledger counters land in the
+// collector with the result's exact values.
+func TestResultRecordTo(t *testing.T) {
+	r := Result{
+		Name:          "x",
+		MACCs:         100,
+		DRAMCycles:    50,
+		ComputeCycles: 80,
+		ExtractCycles: 10,
+		Tasks:         7,
+		EmptyTasks:    2,
+	}
+	r.Traffic.A, r.Traffic.B, r.Traffic.Z = 10, 20, 30
+	c := obs.NewCollector()
+	r.RecordTo(c)
+	if got := c.Counter("traffic.a_bytes") + c.Counter("traffic.b_bytes") + c.Counter("traffic.z_bytes"); got != r.Traffic.Total() {
+		t.Fatalf("traffic counters sum to %d, want %d", got, r.Traffic.Total())
+	}
+	if c.Counter("engine.tasks") != 7 || c.Counter("engine.maccs") != 100 {
+		t.Fatalf("counters wrong: tasks=%d maccs=%d", c.Counter("engine.tasks"), c.Counter("engine.maccs"))
+	}
+	if got := c.SpanCount(); got != 3 {
+		t.Fatalf("phase spans = %d, want 3", got)
+	}
+	// nil recorder is a no-op.
+	r.RecordTo(nil)
+}

@@ -1,5 +1,7 @@
 package sim
 
+import "drt/internal/obs"
+
 // Pipeline is a discrete-event model of the S-DOP task pipeline of
 // Sec. 4.2.3: each task passes through the Extract (Aggregate + metadata
 // build), Fetch (DRAM), and Compute stages. Stages are resources — one
@@ -21,6 +23,10 @@ type Pipeline struct {
 	Busy [3]float64
 	// Tasks counts tasks pushed through the pipeline.
 	Tasks int
+	// Rec, when non-nil, receives one simulated-cycle span per occupied
+	// stage per task: extraction spans on the extract track, task spans on
+	// the fetch and compute tracks. Leave nil to keep Push allocation-free.
+	Rec obs.Recorder
 }
 
 // Pipeline stages in dependency order.
@@ -61,6 +67,13 @@ func (p *Pipeline) Push(extract, fetch, compute float64) float64 {
 		if dur > 0 {
 			p.free[s] = end
 			p.Busy[s] += dur
+			if p.Rec != nil {
+				cat := obs.CatTask
+				if s == StageExtract {
+					cat = obs.CatExtraction
+				}
+				p.Rec.Span(cat, StageName(s), s, start, dur)
+			}
 		}
 		t = end
 	}

@@ -11,6 +11,7 @@ import (
 
 	"drt/internal/kernels"
 	"drt/internal/metrics"
+	"drt/internal/obs"
 )
 
 // Machine describes the accelerator and memory system, normalized to the
@@ -236,3 +237,25 @@ func (r Result) AI() float64 {
 // DRAMBoundCycles returns the memory-roofline runtime — the red dots of
 // Figs. 6–10: the best achievable given this configuration's traffic.
 func (r Result) DRAMBoundCycles() float64 { return r.DRAMCycles }
+
+// RecordTo publishes the result's phase totals as simulated-cycle phase
+// spans (one track per phase, all anchored at cycle 0 — the phases overlap
+// in the pipelined designs) and its ledgers as counters. rec may be nil.
+func (r Result) RecordTo(rec obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Span(obs.CatPhase, "dram", obs.TrackPhaseDRAM, 0, r.DRAMCycles)
+	rec.Span(obs.CatPhase, "compute", obs.TrackPhaseCompute, 0, r.ComputeCycles)
+	rec.Span(obs.CatPhase, "extract", obs.TrackPhaseExtract, 0, r.ExtractCycles)
+	rec.Count("traffic.a_bytes", r.Traffic.A)
+	rec.Count("traffic.b_bytes", r.Traffic.B)
+	rec.Count("traffic.z_bytes", r.Traffic.Z)
+	rec.Count("engine.maccs", r.MACCs)
+	rec.Count("engine.tasks", int64(r.Tasks))
+	rec.Count("engine.empty_tasks", int64(r.EmptyTasks))
+	rec.Count("engine.overflows", int64(r.Overflows))
+	rec.Count("engine.buffer_access_bytes", r.BufferAccessBytes)
+	rec.Count("engine.noc_bytes", r.NoCBytes)
+	rec.Count("engine.intersect_ops", r.IntersectOps)
+}

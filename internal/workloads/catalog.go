@@ -94,13 +94,13 @@ func Fig6Set() []Entry {
 	return out
 }
 
-// Generate materializes the entry scaled down by the given factor:
-// dimensions and occupancy both shrink by scale, preserving the average
+// Spec returns the exact generator invocation Generate(scale) performs —
+// shape, occupancy, distribution parameters and RNG seed — so run
+// metadata can record how to rebuild the workload bit-for-bit.
+// Dimensions and occupancy both shrink by scale, preserving the average
 // row length (vertex degree) and pattern — the statistics tiling behavior
-// keys on. The working set shrinks by scale, and exp.Context scales the
-// on-chip buffers by the same factor so buffer-to-working-set ratios match
-// the full-size configuration. scale=1 reproduces the full Table 3 shapes.
-func (e Entry) Generate(scale int) *tensor.CSR {
+// keys on. scale=1 reproduces the full Table 3 shapes.
+func (e Entry) Spec(scale int) gen.Spec {
 	if scale < 1 {
 		scale = 1
 	}
@@ -128,16 +128,31 @@ func (e Entry) Generate(scale int) *tensor.CSR {
 		if fill > 0.95 {
 			fill = 0.95
 		}
-		return gen.Banded(n, halfBand, 4, fill, e.Seed)
+		return gen.Spec{Kind: "banded", Rows: n, Cols: n, NNZ: nnz, Seed: e.Seed,
+			HalfBand: halfBand, BlockSize: 4, Fill: fill}
 	default:
-		return gen.RMAT(n, nnz, 0.57, 0.19, 0.19, e.Seed)
+		return gen.Spec{Kind: "rmat", Rows: n, Cols: n, NNZ: nnz, Seed: e.Seed,
+			A: 0.57, B: 0.19, C: 0.19}
 	}
 }
 
-// TallSkinnyPair returns the F (tall-skinny) and Fᵀ·F-style operands of
-// Fig. 7 for this entry: F has the entry's row count and cols = rows /
-// aspect, with the entry's scaled occupancy.
-func (e Entry) TallSkinnyPair(scale, aspect int) (f, fT *tensor.CSR) {
+// Generate materializes the entry scaled down by the given factor, exactly
+// as described by Spec(scale). The working set shrinks by scale, and
+// exp.Context scales the on-chip buffers by the same factor so
+// buffer-to-working-set ratios match the full-size configuration.
+func (e Entry) Generate(scale int) *tensor.CSR {
+	m, err := e.Spec(scale).Build()
+	if err != nil {
+		// Spec is constructed here with a known kind; failure is a
+		// programming error, not an input error.
+		panic(err)
+	}
+	return m
+}
+
+// TallSkinnySpec returns the generator invocation behind TallSkinnyPair's
+// F operand, for run-metadata recording.
+func (e Entry) TallSkinnySpec(scale, aspect int) gen.Spec {
 	if aspect < 2 {
 		aspect = 2
 	}
@@ -156,6 +171,16 @@ func (e Entry) TallSkinnyPair(scale, aspect int) (f, fT *tensor.CSR) {
 	if maxNNZ := rows * cols / 2; nnz > maxNNZ {
 		nnz = maxNNZ
 	}
-	f = gen.TallSkinny(rows, cols, nnz, e.Seed+1000)
+	return gen.Spec{Kind: "tallskinny", Rows: rows, Cols: cols, NNZ: nnz, Seed: e.Seed + 1000}
+}
+
+// TallSkinnyPair returns the F (tall-skinny) and Fᵀ·F-style operands of
+// Fig. 7 for this entry: F has the entry's row count and cols = rows /
+// aspect, with the entry's scaled occupancy.
+func (e Entry) TallSkinnyPair(scale, aspect int) (f, fT *tensor.CSR) {
+	f, err := e.TallSkinnySpec(scale, aspect).Build()
+	if err != nil {
+		panic(err)
+	}
 	return f, f.Transpose()
 }
