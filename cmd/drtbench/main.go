@@ -9,8 +9,15 @@
 //	drtbench -exp fig6              # one experiment
 //	drtbench -exp all               # the full evaluation
 //	drtbench -exp fig6 -scale 8     # closer to full scale (slower)
+//	drtbench -exp all -parallel 8   # fan workload cells across 8 workers
 //	drtbench -list                  # list experiment ids
 //	drtbench -exp fig6 -metrics-out fig6.json
+//
+// -parallel bounds the worker goroutines used for independent
+// (workload × configuration) cells inside each experiment; it defaults to
+// the CPU count and every table is byte-identical at any setting
+// (results are reassembled in input order), so -parallel 1 reproduces the
+// sequential run exactly.
 //
 // -metrics-out writes every experiment's table as structured JSON together
 // with the run metadata (scale, workload generator specs, VCS revision),
@@ -24,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -52,6 +60,7 @@ func main() {
 		scale      = flag.Int("scale", 16, "workload scale-down factor (1 = full paper scale)")
 		microTile  = flag.Int("microtile", 16, "micro tile edge in coordinates")
 		maxW       = flag.Int("workloads", 0, "cap on catalog entries per experiment (0 = all)")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per experiment (1 = sequential; output is identical at any setting)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		metricsOut = flag.String("metrics-out", "", "write all tables and run metadata as JSON to this file")
@@ -78,7 +87,7 @@ func main() {
 		}
 	}
 
-	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW}
+	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel}
 	if rec != nil {
 		opts.Rec = rec
 	}

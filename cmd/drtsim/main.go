@@ -24,6 +24,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strings"
 
 	"drt"
@@ -55,6 +56,7 @@ func main() {
 		accelName  = flag.String("accel", "extensor-op-drt", "accelerator: "+strings.Join(accelNames, " | "))
 		scale      = flag.Int("scale", 16, "workload scale-down factor")
 		microTile  = flag.Int("microtile", 16, "micro tile edge")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the static-shape sweep (1 = sequential; results identical at any setting)")
 		trace      = flag.Bool("trace", false, "render the DRT task tiling of the K×J plane as ASCII")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout instead of text")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the run's spans")
@@ -112,7 +114,7 @@ func main() {
 		rec.SetMeta("machine.dram_bandwidth_bytes_per_s", fmt.Sprint(m.DRAMBandwidth))
 	}
 
-	r, err := run(*accelName, w, m, rec)
+	r, err := run(*accelName, w, m, *parallel, rec)
 	if err != nil {
 		cli.Fatalf("drtsim: %v", err)
 	}
@@ -206,13 +208,14 @@ func printTrace(a *accel.Workload, microTile int) error {
 	return nil
 }
 
-func run(name string, w *accel.Workload, m sim.Machine, rec *obs.Collector) (sim.Result, error) {
+func run(name string, w *accel.Workload, m sim.Machine, parallel int, rec *obs.Collector) (sim.Result, error) {
 	var r obs.Recorder
 	if rec != nil {
 		r = rec
 	}
 	exOpt := extensor.DefaultOptions()
 	exOpt.Machine = m
+	exOpt.Parallel = parallel
 	exOpt.Rec = r
 	osOpt := outerspace.Options{Machine: m, Partition: exOpt.Partition, Rec: r}
 	mrOpt := matraptor.Options{Machine: m, Partition: exOpt.Partition, Rec: r}
@@ -268,8 +271,8 @@ type jsonReport struct {
 		Cols int    `json:"cols"`
 		NNZ  int    `json:"nnz"`
 	} `json:"workload"`
-	MACCs    int64 `json:"maccs"`
-	Traffic  struct {
+	MACCs   int64 `json:"maccs"`
+	Traffic struct {
 		ABytes     int64 `json:"a_bytes"`
 		BBytes     int64 `json:"b_bytes"`
 		ZBytes     int64 `json:"z_bytes"`

@@ -36,7 +36,10 @@ func TestReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := exp.NewContext(exp.Options{Scale: scale, MicroTile: microTile}).Machine()
-	r, err := run(accelName, w, m, nil)
+	// The golden file was produced by a sequential run; simulating with
+	// four sweep workers and still matching it byte-for-byte pins the
+	// parallel path's determinism guarantee.
+	r, err := run(accelName, w, m, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +80,7 @@ func TestJSONMatchesText(t *testing.T) {
 	}
 	m := exp.NewContext(exp.Options{Scale: 64, MicroTile: 8}).Machine()
 	rec := obs.NewCollector()
-	r, err := run("extensor-op-drt", w, m, rec)
+	r, err := run("extensor-op-drt", w, m, 1, rec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"drt/internal/core"
 	"drt/internal/extractor"
 	"drt/internal/obs"
+	"drt/internal/par"
 	"drt/internal/sim"
 	"drt/internal/tensor"
 )
@@ -71,6 +72,12 @@ type Options struct {
 	// like MS-BFS sweep once per workload, not once per kernel (Sec. 5.2:
 	// the paper sweeps per workload).
 	StaticShape []int
+	// Parallel is the worker count the static-shape sweep evaluates its
+	// candidates across (0 or negative = one per CPU, 1 = sequential).
+	// The winning shape — and therefore the returned Result — is
+	// identical at any setting: candidates are compared in proposal
+	// order.
+	Parallel int
 	// Rec, when non-nil, receives the run's instrumentation (see
 	// accel.EngineOptions.Rec). The static-shape sweep records only the
 	// winning shape's run, so an attached recorder's totals match the
@@ -118,7 +125,7 @@ func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 			base.Rec = opt.Rec
 			return accel.RunTasks(w, base)
 		}
-		return runSweep(w, base, capA, capB, opt.Rec)
+		return runSweep(w, base, capA, capB, opt.Parallel, opt.Rec)
 	case OP:
 		// B-stationary outer-product-style dataflow: J → K → I.
 		base.LoopOrder = []int{accel.DimJ, accel.DimK, accel.DimI}
@@ -129,7 +136,7 @@ func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 			base.Rec = opt.Rec
 			return accel.RunTasks(w, base)
 		}
-		return runSweep(w, base, capA, capB, opt.Rec)
+		return runSweep(w, base, capA, capB, opt.Parallel, opt.Rec)
 	case OPDRT:
 		base.LoopOrder = []int{accel.DimJ, accel.DimK, accel.DimI}
 		base.Strategy = opt.Strategy
@@ -189,8 +196,8 @@ func staticShapes(w *accel.Workload, capA, capB int64) [][3]int {
 // attached, re-simulates the winning shape with instrumentation so the
 // recorder reflects exactly one run — the one whose Result is returned —
 // rather than the sum of all candidates.
-func runSweep(w *accel.Workload, base accel.EngineOptions, capA, capB int64, rec obs.Recorder) (sim.Result, error) {
-	r, shape, err := sweepStatic(w, base, capA, capB)
+func runSweep(w *accel.Workload, base accel.EngineOptions, capA, capB int64, parallel int, rec obs.Recorder) (sim.Result, error) {
+	r, shape, err := sweepStatic(w, base, capA, capB, parallel)
 	if err != nil || rec == nil {
 		return r, err
 	}
@@ -203,23 +210,34 @@ func runSweep(w *accel.Workload, base accel.EngineOptions, capA, capB int64, rec
 
 // sweepStatic runs every candidate static shape and returns the best
 // (lowest-cycle) result and its shape, mirroring the paper's per-workload
-// shape sweep.
-func sweepStatic(w *accel.Workload, base accel.EngineOptions, capA, capB int64) (sim.Result, []int, error) {
+// shape sweep. Candidates are simulated across the worker pool but
+// compared in proposal order with a strict less-than, so ties and the
+// reported first error resolve exactly as the sequential sweep did.
+func sweepStatic(w *accel.Workload, base accel.EngineOptions, capA, capB int64, parallel int) (sim.Result, []int, error) {
+	shapes := staticShapes(w, capA, capB)
+	type candidate struct {
+		r   sim.Result
+		err error
+	}
+	cands, _ := par.Map(parallel, len(shapes), func(i int) (candidate, error) {
+		opt := base
+		opt.InitialSize = []int{shapes[i][0], shapes[i][1], shapes[i][2]}
+		r, err := accel.RunTasks(w, opt)
+		return candidate{r: r, err: err}, nil
+	})
 	var best sim.Result
 	var bestShape []int
 	var firstErr error
-	for _, s := range staticShapes(w, capA, capB) {
-		opt := base
-		opt.InitialSize = []int{s[0], s[1], s[2]}
-		r, err := accel.RunTasks(w, opt)
-		if err != nil {
+	for i, cand := range cands {
+		if cand.err != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = cand.err
 			}
 			continue
 		}
-		if bestShape == nil || r.Cycles() < best.Cycles() {
-			best, bestShape = r, opt.InitialSize
+		if bestShape == nil || cand.r.Cycles() < best.Cycles() {
+			best = cand.r
+			bestShape = []int{shapes[i][0], shapes[i][1], shapes[i][2]}
 		}
 	}
 	if bestShape == nil {
@@ -250,6 +268,6 @@ func BestStaticShape(v Variant, w *accel.Workload, opt Options) ([]int, error) {
 	default:
 		return nil, fmt.Errorf("extensor: %v is not a static variant", v)
 	}
-	_, shape, err := sweepStatic(w, base, capA, capB)
+	_, shape, err := sweepStatic(w, base, capA, capB, opt.Parallel)
 	return shape, err
 }

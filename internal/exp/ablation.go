@@ -7,6 +7,7 @@ import (
 	"drt/internal/sim"
 	"drt/internal/swdrt"
 	"drt/internal/tiling"
+	"drt/internal/workloads"
 )
 
 // The ablation experiments implement the paper's stated future-work items
@@ -30,30 +31,44 @@ func (c *Context) AblTCC() (*metrics.Table, error) {
 	opt := swdrt.DefaultOptions()
 	opt.LLCBytes = c.CPU().LLCBytes
 	var gains []float64
-	for _, e := range c.fig6Entries() {
+	type cell struct {
+		fpTUC, fpTCC   int64
+		dncTUC, dncTCC float64
+	}
+	cells, err := forEntries(c, c.fig6Entries(), func(e workloads.Entry) (cell, error) {
 		a := e.Generate(c.Opt.Scale)
 		wTUC, err := accel.NewWorkloadWithFormat(e.Name, a, a, c.Opt.MicroTile, tiling.TUC)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		wTCC, err := accel.NewWorkloadWithFormat(e.Name, a, a, c.Opt.MicroTile, tiling.TCC)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		sTUC, err := swdrt.Run(wTUC, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		sTCC, err := swdrt.Run(wTCC, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		fa, fb := wTUC.InputFootprint()
 		fa2, fb2 := wTCC.InputFootprint()
-		gain := sTCC.DNCImprovement() / sTUC.DNCImprovement()
+		return cell{
+			fpTUC: fa + fb, fpTCC: fa2 + fb2,
+			dncTUC: sTUC.DNCImprovement(), dncTCC: sTCC.DNCImprovement(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range c.fig6Entries() {
+		cl := cells[i]
+		gain := cl.dncTCC / cl.dncTUC
 		gains = append(gains, gain)
-		t.AddRow(e.Name, metrics.MB(fa+fb), metrics.MB(fa2+fb2),
-			sTUC.DNCImprovement(), sTCC.DNCImprovement(), gain)
+		t.AddRow(e.Name, metrics.MB(cl.fpTUC), metrics.MB(cl.fpTCC),
+			cl.dncTUC, cl.dncTCC, gain)
 	}
 	t.AddRow("geomean", "", "", "", "", metrics.Geomean(gains))
 	return t, nil
@@ -70,7 +85,11 @@ func (c *Context) AblAutoTile() (*metrics.Table, error) {
 	if len(entries) > 8 {
 		entries = entries[:8]
 	}
-	for _, e := range entries {
+	type cell struct {
+		edge        int
+		fixed, auto int64
+	}
+	cells, err := forEntries(c, entries, func(e workloads.Entry) (cell, error) {
 		a := e.Generate(c.Opt.Scale)
 		edge := tiling.SuggestMicroTile(a, 4, 8, 16, 32)
 		run := func(mt int) (int64, error) {
@@ -86,15 +105,22 @@ func (c *Context) AblAutoTile() (*metrics.Table, error) {
 		}
 		fixed, err := run(c.Opt.MicroTile)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		auto, err := run(edge)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		gain := float64(fixed) / float64(auto)
+		return cell{edge: edge, fixed: fixed, auto: auto}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range entries {
+		cl := cells[i]
+		gain := float64(cl.fixed) / float64(cl.auto)
 		gains = append(gains, gain)
-		t.AddRow(e.Name, c.Opt.MicroTile, edge, metrics.MB(fixed), metrics.MB(auto), gain)
+		t.AddRow(e.Name, c.Opt.MicroTile, cl.edge, metrics.MB(cl.fixed), metrics.MB(cl.auto), gain)
 	}
 	t.AddRow("geomean", "", "", "", "", metrics.Geomean(gains))
 	return t, nil
@@ -118,32 +144,43 @@ func (c *Context) AblDynPart() (*metrics.Table, error) {
 	if len(entries) > 8 {
 		entries = entries[:8]
 	}
-	for _, e := range entries {
+	type cell struct {
+		fixedMS, bestMS float64
+		bestPart        sim.Partition
+	}
+	cells, err := forEntries(c, entries, func(e workloads.Entry) (cell, error) {
 		w, err := c.Square(e)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		opt := c.extensorOptions()
 		fixed, err := extensor.Run(extensor.OPDRT, w, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		fixedMS := opt.Machine.Seconds(fixed.Cycles()) * 1e3
-		bestMS := fixedMS
-		bestPart := opt.Partition
+		cl := cell{bestPart: opt.Partition}
+		cl.fixedMS = opt.Machine.Seconds(fixed.Cycles()) * 1e3
+		cl.bestMS = cl.fixedMS
 		for _, p := range candidates {
 			opt.Partition = p
 			r, err := extensor.Run(extensor.OPDRT, w, opt)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
-			if ms := opt.Machine.Seconds(r.Cycles()) * 1e3; ms < bestMS {
-				bestMS, bestPart = ms, p
+			if ms := opt.Machine.Seconds(r.Cycles()) * 1e3; ms < cl.bestMS {
+				cl.bestMS, cl.bestPart = ms, p
 			}
 		}
-		gain := fixedMS / bestMS
+		return cl, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range entries {
+		cl := cells[i]
+		gain := cl.fixedMS / cl.bestMS
 		gains = append(gains, gain)
-		t.AddRow(e.Name, fixedMS, bestMS, bestPart.AFrac*100, bestPart.BFrac*100, gain)
+		t.AddRow(e.Name, cl.fixedMS, cl.bestMS, cl.bestPart.AFrac*100, cl.bestPart.BFrac*100, gain)
 	}
 	t.AddRow("geomean", "", "", "", "", metrics.Geomean(gains))
 	return t, nil
@@ -162,21 +199,35 @@ func (c *Context) AblPipeline() (*metrics.Table, error) {
 	if len(entries) > 8 {
 		entries = entries[:8]
 	}
-	for _, e := range entries {
+	variants := []extensor.Variant{extensor.OP, extensor.OPDRT}
+	type cell struct{ pm, ev float64 }
+	cells, err := forEntries(c, entries, func(e workloads.Entry) ([]cell, error) {
 		w, err := c.Square(e)
 		if err != nil {
 			return nil, err
 		}
-		for _, v := range []extensor.Variant{extensor.OP, extensor.OPDRT} {
+		out := make([]cell, len(variants))
+		for vi, v := range variants {
 			r, err := extensor.Run(v, w, opt)
 			if err != nil {
 				return nil, err
 			}
-			pm := opt.Machine.Seconds(r.Cycles()) * 1e3
-			ev := opt.Machine.Seconds(r.PipelineCyclesExact) * 1e3
-			ratio := ev / pm
+			out[vi] = cell{
+				pm: opt.Machine.Seconds(r.Cycles()) * 1e3,
+				ev: opt.Machine.Seconds(r.PipelineCyclesExact) * 1e3,
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, e := range entries {
+		for vi, v := range variants {
+			cl := cells[ei][vi]
+			ratio := cl.ev / cl.pm
 			ratios = append(ratios, ratio)
-			t.AddRow(e.Name, v.String(), pm, ev, ratio)
+			t.AddRow(e.Name, v.String(), cl.pm, cl.ev, ratio)
 		}
 	}
 	t.AddRow("geomean", "", "", "", metrics.Geomean(ratios))

@@ -10,7 +10,9 @@ import (
 	"drt/internal/energy"
 	"drt/internal/extractor"
 	"drt/internal/metrics"
+	"drt/internal/par"
 	"drt/internal/sim"
+	"drt/internal/workloads"
 )
 
 // Fig12 regenerates Figure 12: ExTensor-OP-DRT speedup over the CPU as
@@ -19,26 +21,36 @@ func (c *Context) Fig12() (*metrics.Table, error) {
 	t := metrics.NewTable("Fig. 12: bandwidth scaling (geomean speedup over CPU)",
 		"bandwidth", "Skip-Based", "Parallel", "Serial-Optimal")
 	kinds := []sim.IntersectKind{sim.SkipBased, sim.Parallel, sim.SerialOptimal}
-	for _, mult := range []float64{1, 2, 4, 8} {
+	mults := []float64{1, 2, 4, 8}
+	entries := c.fig6Entries()
+	// One cell per (bandwidth, unit, workload) triple, flattened so every
+	// simulation of the sweep runs on the pool at once.
+	speedups, err := par.Map(c.Opt.Parallel, len(mults)*len(kinds)*len(entries), func(i int) (float64, error) {
+		e := entries[i%len(entries)]
+		kind := kinds[i/len(entries)%len(kinds)]
+		mult := mults[i/len(entries)/len(kinds)]
+		w, err := c.Square(e)
+		if err != nil {
+			return 0, err
+		}
+		cpu := cpuref.SpMSpM(w, c.CPU())
+		opt := c.extensorOptions()
+		opt.Machine.DRAMBandwidth *= mult
+		opt.Intersect = kind
+		r, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			return 0, err
+		}
+		return cpu.Seconds / opt.Machine.Seconds(r.Cycles()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mult := range mults {
 		cells := []any{fmt.Sprintf("%gx", mult)}
-		for _, kind := range kinds {
-			var speedups []float64
-			for _, e := range c.fig6Entries() {
-				w, err := c.Square(e)
-				if err != nil {
-					return nil, err
-				}
-				cpu := cpuref.SpMSpM(w, c.CPU())
-				opt := c.extensorOptions()
-				opt.Machine.DRAMBandwidth *= mult
-				opt.Intersect = kind
-				r, err := extensor.Run(extensor.OPDRT, w, opt)
-				if err != nil {
-					return nil, err
-				}
-				speedups = append(speedups, cpu.Seconds/opt.Machine.Seconds(r.Cycles()))
-			}
-			cells = append(cells, metrics.Geomean(speedups))
+		for ki := range kinds {
+			lo := (mi*len(kinds) + ki) * len(entries)
+			cells = append(cells, metrics.Geomean(speedups[lo:lo+len(entries)]))
 		}
 		t.AddRow(cells...)
 	}
@@ -69,28 +81,35 @@ func (c *Context) Fig14() (*metrics.Table, error) {
 	if len(entries) > 6 {
 		entries = entries[:6]
 	}
+	// Enumerate the admissible splits first, then fan the full
+	// (partition × workload) grid out as independent cells.
+	var parts []sim.Partition
 	for _, af := range []float64{0.05, 0.10, 0.20, 0.40} {
 		for _, bf := range []float64{0.10, 0.30, 0.50, 0.70} {
-			of := 1 - af - bf
-			if of < 0.05 {
-				continue
+			if of := 1 - af - bf; of >= 0.05 {
+				parts = append(parts, sim.Partition{AFrac: af, BFrac: bf, OFrac: of})
 			}
-			opt := c.extensorOptions()
-			opt.Partition = sim.Partition{AFrac: af, BFrac: bf, OFrac: of}
-			var times []float64
-			for _, e := range entries {
-				w, err := c.Square(e)
-				if err != nil {
-					return nil, err
-				}
-				r, err := extensor.Run(extensor.OPDRT, w, opt)
-				if err != nil {
-					return nil, err
-				}
-				times = append(times, opt.Machine.Seconds(r.Cycles())*1e3)
-			}
-			t.AddRow(af*100, bf*100, of*100, metrics.Geomean(times))
 		}
+	}
+	times, err := par.Map(c.Opt.Parallel, len(parts)*len(entries), func(i int) (float64, error) {
+		opt := c.extensorOptions()
+		opt.Partition = parts[i/len(entries)]
+		w, err := c.Square(entries[i%len(entries)])
+		if err != nil {
+			return 0, err
+		}
+		r, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			return 0, err
+		}
+		return opt.Machine.Seconds(r.Cycles()) * 1e3, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range parts {
+		lo := pi * len(entries)
+		t.AddRow(p.AFrac*100, p.BFrac*100, p.OFrac*100, metrics.Geomean(times[lo:lo+len(entries)]))
 	}
 	return t, nil
 }
@@ -102,26 +121,34 @@ func (c *Context) Fig15() (*metrics.Table, error) {
 	t := metrics.NewTable("Fig. 15: alternating DRT overhead vs greedy (×, lower is better)",
 		"matrix", "traffic-overhead", "runtime-overhead")
 	var trs, rts []float64
-	for _, e := range c.fig6Entries() {
+	type cell struct{ tr, rt float64 }
+	cells, err := forEntries(c, c.fig6Entries(), func(e workloads.Entry) (cell, error) {
 		w, err := c.Square(e)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		opt := c.extensorOptions()
 		greedy, err := extensor.Run(extensor.OPDRT, w, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		opt.Strategy = core.Alternating
 		alt, err := extensor.Run(extensor.OPDRT, w, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		tr := float64(alt.Traffic.Total()) / float64(greedy.Traffic.Total())
-		rt := alt.Cycles() / greedy.Cycles()
-		trs = append(trs, tr)
-		rts = append(rts, rt)
-		t.AddRow(e.Name, tr, rt)
+		return cell{
+			tr: float64(alt.Traffic.Total()) / float64(greedy.Traffic.Total()),
+			rt: alt.Cycles() / greedy.Cycles(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range c.fig6Entries() {
+		trs = append(trs, cells[i].tr)
+		rts = append(rts, cells[i].rt)
+		t.AddRow(e.Name, cells[i].tr, cells[i].rt)
 	}
 	t.AddRow("geomean", metrics.Geomean(trs), metrics.Geomean(rts))
 	return t, nil
@@ -136,20 +163,27 @@ func (c *Context) Fig16() (*metrics.Table, error) {
 	if len(entries) > 6 {
 		entries = entries[:6]
 	}
-	for _, e := range entries {
-		w, err := c.Square(e)
+	startJs := []int{1, 2, 4, 8, 16}
+	times, err := par.Map(c.Opt.Parallel, len(entries)*len(startJs), func(i int) (float64, error) {
+		w, err := c.Square(entries[i/len(startJs)])
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		opt := c.extensorOptions()
+		opt.InitialSize = []int{1, startJs[i%len(startJs)], 1}
+		r, err := extensor.Run(extensor.OPDRT, w, opt)
+		if err != nil {
+			return 0, err
+		}
+		return opt.Machine.Seconds(r.Cycles()) * 1e3, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, e := range entries {
 		cells := []any{e.Name}
-		for _, startJ := range []int{1, 2, 4, 8, 16} {
-			opt := c.extensorOptions()
-			opt.InitialSize = []int{1, startJ, 1}
-			r, err := extensor.Run(extensor.OPDRT, w, opt)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, opt.Machine.Seconds(r.Cycles())*1e3)
+		for si := range startJs {
+			cells = append(cells, times[ei*len(startJs)+si])
 		}
 		t.AddRow(cells...)
 	}
@@ -166,10 +200,13 @@ func (c *Context) Fig17() (*metrics.Table, error) {
 	if len(entries) > 6 {
 		entries = entries[:6]
 	}
-	for _, e := range entries {
+	// One cell per entry: the micro-tile loop reuses the generated matrix,
+	// so the sweep stays inside the cell.
+	mts := []int{4, 8, 16, 32, 64}
+	rows, err := forEntries(c, entries, func(e workloads.Entry) ([]float64, error) {
 		a := e.Generate(c.Opt.Scale)
-		cells := []any{e.Name}
-		for _, mt := range []int{4, 8, 16, 32, 64} {
+		var mbs []float64
+		for _, mt := range mts {
 			w, err := accel.NewWorkload(e.Name, a, a, mt)
 			if err != nil {
 				return nil, err
@@ -178,7 +215,17 @@ func (c *Context) Fig17() (*metrics.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			cells = append(cells, metrics.MB(r.Traffic.Total()))
+			mbs = append(mbs, metrics.MB(r.Traffic.Total()))
+		}
+		return mbs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, e := range entries {
+		cells := []any{e.Name}
+		for _, mb := range rows[ei] {
+			cells = append(cells, mb)
 		}
 		t.AddRow(cells...)
 	}
@@ -196,38 +243,47 @@ func (c *Context) Sec65() (*metrics.Table, error) {
 		entries = entries[:8]
 	}
 	var ovh, eEx, eOP []float64
-	for _, e := range entries {
+	type cell struct{ over, rEx, rOP float64 }
+	cells, err := forEntries(c, entries, func(e workloads.Entry) (cell, error) {
 		w, err := c.Square(e)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		opt := c.extensorOptions()
 		opt.Extractor = extractor.ParallelExtractor
-		par, err := extensor.Run(extensor.OPDRT, w, opt)
+		parRun, err := extensor.Run(extensor.OPDRT, w, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		opt.Extractor = extractor.IdealExtractor
 		ideal, err := extensor.Run(extensor.OPDRT, w, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		over := (par.Cycles() - ideal.Cycles()) / ideal.Cycles() * 100
 		ex, err := extensor.Run(extensor.Original, w, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		op, err := extensor.Run(extensor.OP, w, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		eDRT := energy.Estimate(par).Total()
-		rEx := energy.Estimate(ex).Total() / eDRT
-		rOP := energy.Estimate(op).Total() / eDRT
-		ovh = append(ovh, over)
-		eEx = append(eEx, rEx)
-		eOP = append(eOP, rOP)
-		t.AddRow(e.Name, over, rEx, rOP)
+		eDRT := energy.Estimate(parRun).Total()
+		return cell{
+			over: (parRun.Cycles() - ideal.Cycles()) / ideal.Cycles() * 100,
+			rEx:  energy.Estimate(ex).Total() / eDRT,
+			rOP:  energy.Estimate(op).Total() / eDRT,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range entries {
+		cl := cells[i]
+		ovh = append(ovh, cl.over)
+		eEx = append(eEx, cl.rEx)
+		eOP = append(eOP, cl.rOP)
+		t.AddRow(e.Name, cl.over, cl.rEx, cl.rOP)
 	}
 	t.AddRow("geomean", metrics.Median(ovh), metrics.Geomean(eEx), metrics.Geomean(eOP))
 	return t, nil

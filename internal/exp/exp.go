@@ -13,10 +13,12 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"drt/internal/accel"
 	"drt/internal/cpuref"
 	"drt/internal/obs"
+	"drt/internal/par"
 	"drt/internal/sim"
 	"drt/internal/workloads"
 )
@@ -31,6 +33,11 @@ type Options struct {
 	// MaxWorkloads caps the number of catalog entries per experiment
 	// (0 = all); tests and quick benches use small values.
 	MaxWorkloads int
+	// Parallel is the worker count the runners fan their (workload ×
+	// config) cells across (0 or negative = one worker per CPU). Results
+	// are reassembled in input order, so every table is byte-identical to
+	// a Parallel == 1 (sequential) run.
+	Parallel int
 	// Rec, when non-nil, receives run metadata (each prepared workload's
 	// generator spec) and wall-clock phase spans for workload preparation,
 	// so the benchmark harness's metrics dump records how to rebuild every
@@ -44,11 +51,22 @@ func DefaultOptions() Options {
 }
 
 // Context memoizes prepared workloads across experiments (building one
-// involves the exact reference SpMSpM).
+// involves the exact reference SpMSpM). It is safe for concurrent use:
+// parallel runners may request the same workload and each entry is
+// generated exactly once.
 type Context struct {
 	Opt Options
 
-	spmspm map[string]*accel.Workload
+	mu     sync.Mutex
+	spmspm map[string]*squareCell
+}
+
+// squareCell is one memoized S² workload; the Once guarantees exactly one
+// generation even when concurrent runners race on the same entry.
+type squareCell struct {
+	once sync.Once
+	w    *accel.Workload
+	err  error
 }
 
 // NewContext returns a fresh experiment context.
@@ -59,7 +77,15 @@ func NewContext(opt Options) *Context {
 	if opt.MicroTile < 1 {
 		opt.MicroTile = 16
 	}
-	return &Context{Opt: opt, spmspm: map[string]*accel.Workload{}}
+	return &Context{Opt: opt, spmspm: map[string]*squareCell{}}
+}
+
+// forEntries fans f over the entries on the context's worker pool and
+// returns the per-entry results in entry order.
+func forEntries[T any](c *Context, entries []workloads.Entry, f func(e workloads.Entry) (T, error)) ([]T, error) {
+	return par.Map(c.Opt.Parallel, len(entries), func(i int) (T, error) {
+		return f(entries[i])
+	})
 }
 
 // Machine returns the accelerator machine with buffers scaled to the
@@ -95,10 +121,23 @@ func (c *Context) CPU() cpuref.CPU {
 }
 
 // Square returns the memoized S² workload (B = A) for a catalog entry.
+// Concurrent callers racing on the same entry block until the single
+// generation completes; a generation error is memoized alongside the
+// workload (the run is aborting on it anyway).
 func (c *Context) Square(e workloads.Entry) (*accel.Workload, error) {
-	if w, ok := c.spmspm[e.Name]; ok {
-		return w, nil
+	c.mu.Lock()
+	cell := c.spmspm[e.Name]
+	if cell == nil {
+		cell = &squareCell{}
+		c.spmspm[e.Name] = cell
 	}
+	c.mu.Unlock()
+	cell.once.Do(func() { cell.w, cell.err = c.buildSquare(e) })
+	return cell.w, cell.err
+}
+
+// buildSquare generates one S² workload; called exactly once per entry.
+func (c *Context) buildSquare(e workloads.Entry) (*accel.Workload, error) {
 	rec := obs.OrNop(c.Opt.Rec)
 	span := rec.Begin(obs.CatPhase, "prepare")
 	defer rec.End(span)
@@ -110,7 +149,6 @@ func (c *Context) Square(e workloads.Entry) (*accel.Workload, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 	}
-	c.spmspm[e.Name] = w
 	return w, nil
 }
 

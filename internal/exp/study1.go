@@ -10,6 +10,7 @@ import (
 	"drt/internal/cpuref"
 	"drt/internal/gen"
 	"drt/internal/metrics"
+	"drt/internal/par"
 	"drt/internal/sim"
 	"drt/internal/workloads"
 )
@@ -18,6 +19,7 @@ import (
 func (c *Context) extensorOptions() extensor.Options {
 	opt := extensor.DefaultOptions()
 	opt.Machine = c.Machine()
+	opt.Parallel = c.Opt.Parallel
 	return opt
 }
 
@@ -25,36 +27,50 @@ func (c *Context) extensorOptions() extensor.Options {
 // MatRaptor, ExTensor and ExTensor-OP-DRT aggregated over the S² set,
 // with the read-once/write-once lower bound per design.
 func (c *Context) Fig01() (*metrics.Table, error) {
-	var osT, mrT, exT, drtT metrics.Traffic
-	var lower metrics.Traffic
 	exOpt := c.extensorOptions()
-	for _, e := range c.fig6Entries() {
+	type cell struct {
+		os, mr, ex, drt, lower metrics.Traffic
+	}
+	cells, err := forEntries(c, c.fig6Entries(), func(e workloads.Entry) (cell, error) {
+		var out cell
 		w, err := c.Square(e)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		r, err := outerspace.Run(outerspace.Untiled, w, outerspace.Options{Machine: exOpt.Machine, Partition: exOpt.Partition})
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		osT.Add(r.Traffic)
+		out.os = r.Traffic
 		r, err = matraptor.Run(matraptor.Untiled, w, matraptor.Options{Machine: exOpt.Machine, Partition: exOpt.Partition})
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		mrT.Add(r.Traffic)
+		out.mr = r.Traffic
 		r, err = extensor.Run(extensor.Original, w, exOpt)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		exT.Add(r.Traffic)
+		out.ex = r.Traffic
 		r, err = extensor.Run(extensor.OPDRT, w, exOpt)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		drtT.Add(r.Traffic)
+		out.drt = r.Traffic
 		fa, fb := w.InputFootprint()
-		lower.Add(metrics.Traffic{A: fa, B: fb, Z: w.OutputFootprint()})
+		out.lower = metrics.Traffic{A: fa, B: fb, Z: w.OutputFootprint()}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var osT, mrT, exT, drtT, lower metrics.Traffic
+	for _, cl := range cells {
+		osT.Add(cl.os)
+		mrT.Add(cl.mr)
+		exT.Add(cl.ex)
+		drtT.Add(cl.drt)
+		lower.Add(cl.lower)
 	}
 	t := metrics.NewTable("Fig. 1: aggregate DRAM traffic per operand (MB, scaled workloads)",
 		"accelerator", "A", "B", "Z", "total", "lower-bound", "ratio")
@@ -108,13 +124,15 @@ func (c *Context) Fig06() (*metrics.Table, error) {
 		"matrix", "group", "ExTensor", "ExT-bound", "ExTensor-OP", "OP-bound", "OP-DRT", "DRT-bound")
 	m := c.Machine()
 	geo := map[extensor.Variant][]float64{}
-	for _, e := range c.fig6Entries() {
-		row, err := c.fig6Row(e, variants)
-		if err != nil {
-			return nil, err
-		}
+	rows, err := forEntries(c, c.fig6Entries(), func(e workloads.Entry) (fig6Row, error) {
+		return c.fig6Row(e, variants)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		var cells []any
-		cells = append(cells, e.Name, e.Pattern.String())
+		cells = append(cells, row.entry.Name, row.entry.Pattern.String())
 		for _, v := range variants {
 			a, b := row.speedup(m, v)
 			cells = append(cells, a, b)
@@ -142,43 +160,52 @@ func (c *Context) Fig07() (*metrics.Table, error) {
 	if len(entries) > 8 && c.Opt.MaxWorkloads == 0 {
 		entries = entries[:8]
 	}
-	for _, e := range entries {
+	// One cell per (entry, orientation): both tall-skinny products of one
+	// matrix are independent of every other cell.
+	type pairRow struct {
+		name, suffix string
+		speedup      map[extensor.Variant]float64
+		drtBound     float64
+	}
+	suffixes := []string{"FᵀF", "FFᵀ"}
+	rows, err := par.Map(c.Opt.Parallel, len(entries)*len(suffixes), func(i int) (pairRow, error) {
+		e, suffix := entries[i/len(suffixes)], suffixes[i%len(suffixes)]
 		f, fT := e.TallSkinnyPair(c.Opt.Scale, 1<<7)
-		pairs := []struct {
-			suffix string
-			wl     func() (*accel.Workload, error)
-		}{
-			{"FᵀF", func() (*accel.Workload, error) {
-				return accel.NewWorkload(e.Name+"-FtF", fT, f, c.Opt.MicroTile)
-			}},
-			{"FFᵀ", func() (*accel.Workload, error) {
-				return accel.NewWorkload(e.Name+"-FFt", f, fT, c.Opt.MicroTile)
-			}},
+		var w *accel.Workload
+		var err error
+		if suffix == "FᵀF" {
+			w, err = accel.NewWorkload(e.Name+"-FtF", fT, f, c.Opt.MicroTile)
+		} else {
+			w, err = accel.NewWorkload(e.Name+"-FFt", f, fT, c.Opt.MicroTile)
 		}
-		for _, p := range pairs {
-			w, err := p.wl()
+		if err != nil {
+			return pairRow{}, err
+		}
+		cpu := cpuref.SpMSpM(w, c.CPU())
+		row := pairRow{name: e.Name, suffix: suffix, speedup: map[extensor.Variant]float64{}}
+		for _, v := range variants {
+			r, err := extensor.Run(v, w, opt)
 			if err != nil {
-				return nil, err
+				return pairRow{}, fmt.Errorf("%s-%s/%v: %w", e.Name, suffix, v, err)
 			}
-			cpu := cpuref.SpMSpM(w, c.CPU())
-			var cells []any
-			cells = append(cells, e.Name, p.suffix)
-			var drtBound float64
-			for _, v := range variants {
-				r, err := extensor.Run(v, w, opt)
-				if err != nil {
-					return nil, fmt.Errorf("%s-%s/%v: %w", e.Name, p.suffix, v, err)
-				}
-				s := cpu.Seconds / m.Seconds(r.Cycles())
-				cells = append(cells, s)
-				geo[v] = append(geo[v], s)
-				if v == extensor.OPDRT {
-					drtBound = cpu.Seconds / m.Seconds(r.DRAMBoundCycles())
-				}
+			row.speedup[v] = cpu.Seconds / m.Seconds(r.Cycles())
+			if v == extensor.OPDRT {
+				row.drtBound = cpu.Seconds / m.Seconds(r.DRAMBoundCycles())
 			}
-			cells = append(cells, drtBound)
-			t.AddRow(cells...)
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		cells := []any{row.name, row.suffix}
+		for _, v := range variants {
+			cells = append(cells, row.speedup[v])
+			geo[v] = append(geo[v], row.speedup[v])
+		}
+		cells = append(cells, row.drtBound)
+		t.AddRow(cells...)
 	}
 	t.AddRow("geomean", "",
 		metrics.Geomean(geo[extensor.Original]),
@@ -202,12 +229,11 @@ func (c *Context) Fig08() (*metrics.Table, error) {
 		drtSec float64
 		cpuSec float64
 	}
-	var rows []rowData
 	entries := c.fig6Entries()
 	if len(entries) > 10 && c.Opt.MaxWorkloads == 0 {
 		entries = entries[:10]
 	}
-	for _, e := range entries {
+	rows, err := forEntries(c, entries, func(e workloads.Entry) (rowData, error) {
 		s := e.Generate(c.Opt.Scale)
 		sources := s.Rows / (1 << 7)
 		if sources < 2 {
@@ -216,7 +242,7 @@ func (c *Context) Fig08() (*metrics.Table, error) {
 		init := gen.Frontier(s.Cols, sources, e.Seed+5000)
 		run, err := workloads.MSBFS(s, init, 12)
 		if err != nil {
-			return nil, err
+			return rowData{}, err
 		}
 		rd := rowData{name: e.Name, rowVar: s.RowNNZVariation()}
 		// Prepare all per-iteration workloads, then sweep the S-U-C
@@ -228,7 +254,7 @@ func (c *Context) Fig08() (*metrics.Table, error) {
 		for i, f := range run.Frontiers {
 			w, err := accel.NewWorkload(e.Name+"-bfs", f, s, c.Opt.MicroTile)
 			if err != nil {
-				return nil, err
+				return rowData{}, err
 			}
 			iterWs = append(iterWs, w)
 			if f.NNZ() > run.Frontiers[busiest].NNZ() {
@@ -237,7 +263,7 @@ func (c *Context) Fig08() (*metrics.Table, error) {
 		}
 		shape, err := extensor.BestStaticShape(extensor.Original, iterWs[busiest], opt)
 		if err != nil {
-			return nil, err
+			return rowData{}, err
 		}
 		exOpt := opt
 		exOpt.StaticShape = shape
@@ -245,18 +271,22 @@ func (c *Context) Fig08() (*metrics.Table, error) {
 			rd.cpuSec += cpuref.SpMSpM(w, c.CPU()).Seconds
 			r, err := extensor.Run(extensor.Original, w, exOpt)
 			if err != nil {
-				return nil, err
+				return rowData{}, err
 			}
 			rd.exSec += m.Seconds(r.Cycles())
 			r, err = extensor.Run(extensor.OPDRT, w, opt)
 			if err != nil {
-				return nil, err
+				return rowData{}, err
 			}
 			rd.drtSec += m.Seconds(r.Cycles())
 		}
-		rows = append(rows, rd)
+		return rd, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	// Sort by increasing row variation, as the figure does.
+	// Sort by increasing row variation, as the figure does (stable for
+	// ties, so the parallel run's entry order is preserved).
 	for i := 1; i < len(rows); i++ {
 		for j := i; j > 0 && rows[j].rowVar < rows[j-1].rowVar; j-- {
 			rows[j], rows[j-1] = rows[j-1], rows[j]

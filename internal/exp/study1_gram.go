@@ -6,6 +6,7 @@ import (
 	"drt/internal/cpuref"
 	"drt/internal/extractor"
 	"drt/internal/metrics"
+	"drt/internal/par"
 	"drt/internal/sim"
 	"drt/internal/workloads"
 )
@@ -44,11 +45,15 @@ func (c *Context) Fig09() (*metrics.Table, error) {
 		suite = suite[:n]
 	}
 	var sucR, drtR []float64
-	for _, e := range suite {
+	type cell struct {
+		density, tacoAI, sucGain, drtGain float64
+	}
+	cells, err := par.Map(c.Opt.Parallel, len(suite), func(i int) (cell, error) {
+		e := suite[i]
 		x := e.Generate(ts)
 		gw, err := accel.NewGramWorkload(e.Name, x, c.Opt.MicroTile/2+1)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		taco := cpuref.TACOGram(x, gw.MACCs, cpu)
 		opt := accel.GramOptions{
@@ -60,18 +65,28 @@ func (c *Context) Fig09() (*metrics.Table, error) {
 		opt.Strategy = core.Static
 		suc, err := accel.RunGram(gw, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		opt.Strategy = core.GreedyContractedFirst
 		drt, err := accel.RunGram(gw, opt)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
-		sucGain := suc.AI() / taco.AI()
-		drtGain := drt.AI() / taco.AI()
-		sucR = append(sucR, sucGain)
-		drtR = append(drtR, drtGain)
-		t.AddRow(e.Name, x.Density(), taco.AI(), sucGain, drtGain, drtGain/sucGain)
+		return cell{
+			density: x.Density(),
+			tacoAI:  taco.AI(),
+			sucGain: suc.AI() / taco.AI(),
+			drtGain: drt.AI() / taco.AI(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range suite {
+		cl := cells[i]
+		sucR = append(sucR, cl.sucGain)
+		drtR = append(drtR, cl.drtGain)
+		t.AddRow(e.Name, cl.density, cl.tacoAI, cl.sucGain, cl.drtGain, cl.drtGain/cl.sucGain)
 	}
 	t.AddRow("geomean", "", "", metrics.Geomean(sucR), metrics.Geomean(drtR),
 		metrics.Geomean(drtR)/metrics.Geomean(sucR))

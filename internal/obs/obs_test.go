@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -160,6 +161,61 @@ func TestWriteJSONAndCSV(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("CSV missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestCollectorConcurrent hammers one Collector from many goroutines —
+// the sharing pattern the parallel experiment runner creates, where every
+// worker records into the experiment context's collector. Run under
+// -race this pins that every Recorder method and reader is goroutine-safe;
+// the final totals check that no update was lost.
+func TestCollectorConcurrent(t *testing.T) {
+	const (
+		goroutines = 16
+		iterations = 200
+	)
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				c.Count("cells", 1)
+				c.Count("bytes", 64)
+				c.Observe("cycles", float64(i+1))
+				c.Span(CatTask, "compute", TrackCompute, float64(i), 1)
+				id := c.Begin(CatPhase, "cell")
+				c.SetMeta("matrix", "cant")
+				c.End(id)
+				if i%32 == 0 {
+					// Readers interleave with writers in real runs
+					// (-metrics-out snapshots while experiments record).
+					c.Snapshot()
+					c.Counter("cells")
+					c.SpanCount()
+					c.Categories()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	const n = goroutines * iterations
+	if got := c.Counter("cells"); got != n {
+		t.Fatalf("cells = %d, want %d (lost updates)", got, n)
+	}
+	if got := c.Counter("bytes"); got != 64*n {
+		t.Fatalf("bytes = %d, want %d", got, 64*n)
+	}
+	snap := c.Snapshot()
+	if h := snap.Histograms["cycles"]; h.Count != n || h.Min != 1 || h.Max != iterations {
+		t.Fatalf("cycles hist = %+v, want count %d min 1 max %d", h, n, iterations)
+	}
+	if got := c.SpanCount(); got != 2*n {
+		t.Fatalf("spans = %d, want %d", got, 2*n)
+	}
+	if snap.Meta["matrix"] != "cant" {
+		t.Fatalf("meta = %v", snap.Meta)
 	}
 }
 

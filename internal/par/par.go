@@ -1,0 +1,94 @@
+// Package par is the bounded worker pool the experiment runners fan out
+// on: a slice of independent (workload × config) cells is mapped across a
+// fixed number of goroutines and the results are reassembled in input
+// order, so a parallel run produces output byte-identical to the
+// sequential one. Error semantics likewise match the sequential loop: the
+// error returned is always the one with the lowest input index, the same
+// error a `for` loop that stops at the first failure would surface.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a -parallel style worker-count setting: values below 1
+// select runtime.GOMAXPROCS(0) (one worker per available CPU); anything
+// else is returned unchanged.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs f(i) for i in [0, n) across at most workers goroutines
+// (workers < 1 means one per CPU) and returns the n results in input
+// order. On failure it returns the error with the lowest index — exactly
+// the error a sequential loop stopping at the first failure would return,
+// because cells are dispatched in index order, so the lowest failing index
+// is always dispatched before any failure is observed. Cells not yet
+// started when a failure is observed are skipped.
+//
+// With workers == 1 (or n < 2) no goroutines are spawned and f runs
+// inline, reproducing the pre-pool sequential behavior bit for bit.
+func Map[T any](workers, n int, f func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			v, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64 // dispatch cursor; fetch-add hands out indices in order
+		failed atomic.Bool  // set on first observed error; stops new dispatch
+		wg     sync.WaitGroup
+
+		mu     sync.Mutex
+		errIdx = n // lowest failing index seen so far
+		lowErr error
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := f(i)
+				if err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, lowErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if lowErr != nil {
+		return nil, lowErr
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		got, err := Map(workers, 37, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 37 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { t.Fatal("f called"); return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestMapLowestIndexError pins the sequential error equivalence: whatever
+// the scheduling, the error returned is the one the sequential loop would
+// have stopped at — the lowest failing index.
+func TestMapLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(workers, 64, func(i int) (int, error) {
+			if i%10 == 5 { // fails at 5, 15, 25, ...
+				return 0, fmt.Errorf("cell %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "cell 5" {
+			t.Fatalf("workers=%d: err = %v, want cell 5", workers, err)
+		}
+	}
+}
+
+// TestMapSequentialStopsAtError checks the workers==1 fast path stops at
+// the first failure without touching later cells, like the original loops.
+func TestMapSequentialStopsAtError(t *testing.T) {
+	var calls int32
+	want := errors.New("boom")
+	_, err := Map(1, 10, func(i int) (int, error) {
+		atomic.AddInt32(&calls, 1)
+		if i == 3 {
+			return 0, want
+		}
+		return i, nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("sequential path ran %d cells, want 4", calls)
+	}
+}
+
+// TestMapBoundedConcurrency verifies no more than the requested number of
+// workers run f at once.
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int32
+	_, err := Map(workers, 100, func(i int) (int, error) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", peak, workers)
+	}
+}

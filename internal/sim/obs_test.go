@@ -33,8 +33,8 @@ func TestPipelinePushZeroAlloc(t *testing.T) {
 func TestPipelineSpans(t *testing.T) {
 	c := obs.NewCollector()
 	p := Pipeline{Rec: c}
-	p.Push(2, 3, 5)  // occupies all three stages
-	p.Push(0, 4, 1)  // extract skipped
+	p.Push(2, 3, 5) // occupies all three stages
+	p.Push(0, 4, 1) // extract skipped
 	if got, want := c.SpanCount(), 5; got != want {
 		t.Fatalf("spans = %d, want %d", got, want)
 	}

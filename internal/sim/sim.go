@@ -55,24 +55,54 @@ type Partition struct {
 }
 
 // DefaultPartition is the configuration-time split used for all workloads
-// unless an experiment sweeps it (Fig. 14 found small-A/large-B best).
+// unless an experiment sweeps it: 10% A / 45% B / 45% output. This is
+// deliberately not the 5%/45%/50% example Sec. 5.2.4 quotes — the model
+// gives A a slightly larger share and the output correspondingly less,
+// keeping the small-A/large-B shape Fig. 14 found best. The fractions sum
+// to 1 (pinned by TestDefaultPartitionFractions).
 func DefaultPartition() Partition { return Partition{AFrac: 0.10, BFrac: 0.45, OFrac: 0.45} }
 
-// Split returns the byte capacities of each partition of a buffer.
+// Split returns the byte capacities of each partition of a buffer. Each
+// partition gets at least one byte, and for any buffer that can hold the
+// three one-byte minima (buffer >= 3) the capacities never sum to more
+// than the buffer: the per-partition floors and independent float
+// truncation can overshoot on tiny buffers, and any excess is shaved from
+// the largest partitions first. Buffers below 3 bytes are non-physical and
+// degenerate to the 1/1/1 floor.
 func (p Partition) Split(buffer int64) (capA, capB, capO int64) {
-	capA = int64(float64(buffer) * p.AFrac)
-	capB = int64(float64(buffer) * p.BFrac)
-	capO = int64(float64(buffer) * p.OFrac)
-	if capA < 1 {
-		capA = 1
+	caps := [3]int64{
+		int64(float64(buffer) * p.AFrac),
+		int64(float64(buffer) * p.BFrac),
+		int64(float64(buffer) * p.OFrac),
 	}
-	if capB < 1 {
-		capB = 1
+	total := int64(0)
+	for i := range caps {
+		if caps[i] < 1 {
+			caps[i] = 1
+		}
+		total += caps[i]
 	}
-	if capO < 1 {
-		capO = 1
+	for total > buffer {
+		// Shave the overshoot from the largest partition still above its
+		// floor (ties resolve to the first, keeping the result
+		// deterministic); stop when every partition is at the floor.
+		idx := -1
+		for i := range caps {
+			if caps[i] > 1 && (idx < 0 || caps[i] > caps[idx]) {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		cut := total - buffer
+		if max := caps[idx] - 1; cut > max {
+			cut = max
+		}
+		caps[idx] -= cut
+		total -= cut
 	}
-	return capA, capB, capO
+	return caps[0], caps[1], caps[2]
 }
 
 // Validate rejects non-physical partitions.

@@ -33,6 +33,69 @@ func TestPartitionSplit(t *testing.T) {
 	}
 }
 
+// TestDefaultPartitionFractions pins the implemented default split — the
+// one the DefaultPartition doc comment documents — and that it is a valid
+// partition whose fractions sum to at most 1.
+func TestDefaultPartitionFractions(t *testing.T) {
+	p := DefaultPartition()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.AFrac != 0.10 || p.BFrac != 0.45 || p.OFrac != 0.45 {
+		t.Fatalf("default partition = %g/%g/%g, want 0.10/0.45/0.45", p.AFrac, p.BFrac, p.OFrac)
+	}
+	if sum := p.AFrac + p.BFrac + p.OFrac; sum > 1 {
+		t.Fatalf("default fractions sum to %g > 1", sum)
+	}
+}
+
+// TestPartitionSplitNeverOvercommits is the property test for the tiny-
+// buffer clamp: for every valid partition and every buffer that can hold
+// the three one-byte floors, the capacities must sum to at most the buffer
+// while each stays at least 1. Before the clamp, per-partition floors plus
+// independent float truncation could hand out more bytes than the buffer
+// has (e.g. 0.05/0.45/0.50 of a 4-byte buffer floored to 1/1/2 = 4 but
+// 0.05/0.05/0.05 floored to 1/1/1 = 3 of a 2-byte buffer).
+func TestPartitionSplitNeverOvercommits(t *testing.T) {
+	parts := []Partition{
+		DefaultPartition(),
+		{AFrac: 0.05, BFrac: 0.45, OFrac: 0.50},
+		{AFrac: 0.05, BFrac: 0.05, OFrac: 0.05},
+		{AFrac: 0.34, BFrac: 0.33, OFrac: 0.33},
+		{AFrac: 0, BFrac: 0.5, OFrac: 0.5},
+		{AFrac: 1, BFrac: 0, OFrac: 0},
+	}
+	for _, p := range parts {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for buffer := int64(3); buffer <= 4096; buffer++ {
+			a, b, o := p.Split(buffer)
+			if a < 1 || b < 1 || o < 1 {
+				t.Fatalf("%+v Split(%d) = %d/%d/%d: partition below 1 byte", p, buffer, a, b, o)
+			}
+			if a+b+o > buffer {
+				t.Fatalf("%+v Split(%d) = %d/%d/%d: sums to %d > buffer", p, buffer, a, b, o, a+b+o)
+			}
+		}
+	}
+	// Non-physical buffers below the 3-byte floor degenerate to 1/1/1.
+	a, b, o := DefaultPartition().Split(1)
+	if a != 1 || b != 1 || o != 1 {
+		t.Fatalf("Split(1) = %d/%d/%d, want 1/1/1 floor", a, b, o)
+	}
+}
+
+// TestPartitionSplitLargeBufferUnchanged checks the clamp does not alter
+// the plain truncation path real machine configurations take.
+func TestPartitionSplitLargeBufferUnchanged(t *testing.T) {
+	p := DefaultPartition()
+	a, b, o := p.Split(30 << 20)
+	if a != int64(float64(30<<20)*0.10) || b != int64(float64(30<<20)*0.45) || o != int64(float64(30<<20)*0.45) {
+		t.Fatalf("Split(30MB) = %d/%d/%d changed from plain truncation", a, b, o)
+	}
+}
+
 func TestComputeCyclesOrdering(t *testing.T) {
 	// For any sparse workload: skip-based ≥ parallel ≥ serial-optimal.
 	cases := []struct{ scanned, maccs int64 }{
