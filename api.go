@@ -119,12 +119,14 @@ func PlanSpMSpM(a, b *Matrix, cfg PlanConfig) (*Plan, error) {
 	if cfg.BudgetA <= 0 || cfg.BudgetB <= 0 {
 		return nil, fmt.Errorf("drt: budgets must be positive, got %d/%d", cfg.BudgetA, cfg.BudgetB)
 	}
-	ga := tiling.NewGrid(a, mt, mt)
-	gb := tiling.NewGrid(b, mt, mt)
+	ga := tiling.NewAutoGrid(a, mt, mt)
+	gb := tiling.NewAutoGrid(b, mt, mt)
+	gaR, gaC := ga.Extents()
+	_, gbC := gb.Extents()
 	k := &core.Kernel{
 		DimNames:   []string{"I", "J", "K"},
 		Contracted: []bool{false, false, true},
-		Extent:     []int{ga.GR, gb.GC, ga.GC},
+		Extent:     []int{gaR, gbC, gaC},
 		Operands: []core.Operand{
 			{Name: "A", Dims: []int{0, 2}, View: core.MatrixView{G: ga}, Capacity: cfg.BudgetA},
 			{Name: "B", Dims: []int{2, 1}, View: core.MatrixView{G: gb}, Capacity: cfg.BudgetB},

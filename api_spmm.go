@@ -43,17 +43,18 @@ func PlanSpMM(a *Matrix, bCols int, cfg PlanConfig) (*Plan, error) {
 	if bCols < 1 {
 		return nil, fmt.Errorf("drt: dense operand width %d", bCols)
 	}
-	ga := tiling.NewGrid(a, mt, mt)
+	ga := tiling.NewAutoGrid(a, mt, mt)
 	bView := core.DenseView{
 		Rows: a.Cols, Cols: bCols,
 		TileH: mt, TileW: mt,
 		ElemBytes: tensor.ValueBytes,
 	}
 	gcB := (bCols + mt - 1) / mt
+	gaR, gaC := ga.Extents()
 	k := &core.Kernel{
 		DimNames:   []string{"I", "J", "K"},
 		Contracted: []bool{false, false, true},
-		Extent:     []int{ga.GR, gcB, ga.GC},
+		Extent:     []int{gaR, gcB, gaC},
 		Operands: []core.Operand{
 			{Name: "A", Dims: []int{0, 2}, View: core.MatrixView{G: ga}, Capacity: cfg.BudgetA},
 			{Name: "B", Dims: []int{2, 1}, View: bView, Capacity: cfg.BudgetB},

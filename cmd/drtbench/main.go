@@ -38,6 +38,7 @@ import (
 	"drt/internal/cli"
 	"drt/internal/exp"
 	"drt/internal/obs"
+	"drt/internal/tiling"
 )
 
 // expResult is one experiment's table in the -metrics-out dump.
@@ -61,6 +62,7 @@ func main() {
 		microTile  = flag.Int("microtile", 16, "micro tile edge in coordinates")
 		maxW       = flag.Int("workloads", 0, "cap on catalog entries per experiment (0 = all)")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per experiment (1 = sequential; output is identical at any setting)")
+		gridMode   = flag.String("grid", "auto", "micro-tile grid representation: auto | dense | compressed (output is identical at any setting)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		metricsOut = flag.String("metrics-out", "", "write all tables and run metadata as JSON to this file")
@@ -82,12 +84,17 @@ func main() {
 		rec.SetMeta("exp", *expID)
 		rec.SetMeta("scale", fmt.Sprint(*scale))
 		rec.SetMeta("microtile", fmt.Sprint(*microTile))
+		rec.SetMeta("grid", *gridMode)
 		for k, v := range obs.BuildMeta() {
 			rec.SetMeta(k, v)
 		}
 	}
 
-	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel}
+	grid, err := tiling.ParseMode(*gridMode)
+	if err != nil {
+		cli.Usagef("drtbench: %v", err)
+	}
+	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid}
 	if rec != nil {
 		opts.Rec = rec
 	}

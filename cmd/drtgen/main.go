@@ -57,27 +57,22 @@ func main() {
 		fmt.Printf("generator spec: %s\n", spec)
 	}
 
-	g := tiling.NewGrid(m, *microTile, *microTile)
+	g := tiling.NewAutoGrid(m, *microTile, *microTile)
 	// Occupancy histogram over non-empty micro tiles (powers of two).
 	hist := map[int]int{}
 	var nonEmpty int64
-	for r := 0; r < g.GR; r++ {
-		for c := 0; c < g.GC; c++ {
-			n := g.RegionNNZ(r, r+1, c, c+1)
-			if n == 0 {
-				continue
-			}
-			nonEmpty++
-			bucket := 0
-			for v := n; v > 1; v >>= 1 {
-				bucket++
-			}
-			hist[bucket]++
+	g.EachTile(func(_, _ int, n int64) {
+		nonEmpty++
+		bucket := 0
+		for v := n; v > 1; v >>= 1 {
+			bucket++
 		}
-	}
+		hist[bucket]++
+	})
+	gr, gc := g.Extents()
 	fmt.Printf("micro tiles (%dx%d): %d of %d non-empty (%.2f%%)\n",
-		*microTile, *microTile, nonEmpty, int64(g.GR)*int64(g.GC),
-		100*float64(nonEmpty)/float64(int64(g.GR)*int64(g.GC)))
+		*microTile, *microTile, nonEmpty, int64(gr)*int64(gc),
+		100*float64(nonEmpty)/float64(int64(gr)*int64(gc)))
 	fmt.Println("occupancy histogram (log2 buckets of nnz per stored micro tile):")
 	for b := 0; b <= 12; b++ {
 		if n, ok := hist[b]; ok {

@@ -39,6 +39,7 @@ import (
 	"drt/internal/metrics"
 	"drt/internal/obs"
 	"drt/internal/sim"
+	"drt/internal/tiling"
 	"drt/internal/workloads"
 )
 
@@ -56,7 +57,8 @@ func main() {
 		accelName  = flag.String("accel", "extensor-op-drt", "accelerator: "+strings.Join(accelNames, " | "))
 		scale      = flag.Int("scale", 16, "workload scale-down factor")
 		microTile  = flag.Int("microtile", 16, "micro tile edge")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the static-shape sweep (1 = sequential; results identical at any setting)")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the static-shape sweep and the reference kernel (1 = sequential; results identical at any setting)")
+		gridMode   = flag.String("grid", "auto", "micro-tile grid representation: auto | dense | compressed (results identical at any setting)")
 		trace      = flag.Bool("trace", false, "render the DRT task tiling of the K×J plane as ASCII")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout instead of text")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the run's spans")
@@ -78,6 +80,10 @@ func main() {
 	if err != nil {
 		cli.Usagef("drtsim: %v", err)
 	}
+	grid, err := tiling.ParseMode(*gridMode)
+	if err != nil {
+		cli.Usagef("drtsim: %v", err)
+	}
 
 	// The collector is attached only when an observability output was
 	// requested, keeping the default run on the allocation-free path.
@@ -89,6 +95,7 @@ func main() {
 		rec.SetMeta("accel", *accelName)
 		rec.SetMeta("scale", fmt.Sprint(*scale))
 		rec.SetMeta("microtile", fmt.Sprint(*microTile))
+		rec.SetMeta("grid", *gridMode)
 		rec.SetMeta("seed", fmt.Sprint(e.Seed))
 		if spec, err := json.Marshal(e.Spec(*scale)); err == nil {
 			rec.SetMeta("workload.spec", string(spec))
@@ -100,7 +107,11 @@ func main() {
 
 	genSpan := rec.Begin(obs.CatPhase, "generate")
 	a := e.Generate(*scale)
-	w, err := accel.NewWorkload(e.Name, a, a, *microTile)
+	w, err := accel.NewWorkloadWith(e.Name, a, a, accel.WorkloadConfig{
+		MicroTile: *microTile,
+		Grid:      grid,
+		Parallel:  *parallel,
+	})
 	rec.End(genSpan)
 	if err != nil {
 		cli.Fatalf("drtsim: %v", err)

@@ -10,6 +10,7 @@ import (
 	"drt/internal/accel"
 	"drt/internal/exp"
 	"drt/internal/obs"
+	"drt/internal/tiling"
 	"drt/internal/workloads"
 )
 
@@ -19,6 +20,10 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // generation is seeded and the simulator is closed-form, so any diff here
 // is a real behavior change (or an intentional one — regenerate with
 // `go test ./cmd/drtsim -run Golden -update`).
+//
+// The SAME golden file must match under every grid representation: the
+// compressed summaries answer identical queries, so -grid only changes
+// memory, never output.
 func TestReportGolden(t *testing.T) {
 	const (
 		matrix    = "bcsstk17"
@@ -31,37 +36,40 @@ func TestReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := e.Generate(scale)
-	w, err := accel.NewWorkload(e.Name, a, a, microTile)
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := exp.NewContext(exp.Options{Scale: scale, MicroTile: microTile}).Machine()
-	// The golden file was produced by a sequential run; simulating with
-	// four sweep workers and still matching it byte-for-byte pins the
-	// parallel path's determinism guarantee.
-	r, err := run(accelName, w, m, 4, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	report(&buf, w, r, m)
-
 	golden := filepath.Join("testdata", "report_bcsstk17.golden")
-	if *update {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
+	for _, grid := range []tiling.Mode{tiling.Dense, tiling.Compressed} {
+		w, err := accel.NewWorkloadWith(e.Name, a, a,
+			accel.WorkloadConfig{MicroTile: microTile, Grid: grid})
+		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+		m := exp.NewContext(exp.Options{Scale: scale, MicroTile: microTile}).Machine()
+		// The golden file was produced by a sequential run; simulating with
+		// four sweep workers and still matching it byte-for-byte pins the
+		// parallel path's determinism guarantee.
+		r, err := run(accelName, w, m, 4, nil)
+		if err != nil {
 			t.Fatal(err)
 		}
-		return
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("missing golden file (run with -update to create): %v", err)
-	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Errorf("report diverged from golden file.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+		var buf bytes.Buffer
+		report(&buf, w, r, m)
+
+		if *update && grid == tiling.Dense {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update to create): %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("report with -grid %s diverged from golden file.\n--- got ---\n%s--- want ---\n%s", grid, buf.Bytes(), want)
+		}
 	}
 }
 

@@ -272,7 +272,8 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 			extractTotal += inner.extract
 			taskCompute = inner.computeSum / float64(opt.Machine.PEs)
 		} else {
-			for _, rc := range sim.RowWorkCycles(opt.Intersect, tr.Rows) {
+			for _, rw := range tr.Rows {
+				rc := sim.ComputeCycles(opt.Intersect, int64(rw.AElems)+rw.MACCs, rw.MACCs)
 				pe.Assign(rc)
 				taskCompute += rc
 			}

@@ -19,24 +19,39 @@ type GramWorkload struct {
 	Name      string
 	X         *tensor.CSF3
 	MicroTile int
-	G3        *tiling.Grid3
-	GZ        *tiling.Grid
+	G3        tiling.Summary3
+	GZ        tiling.Summary
 	Z         *tensor.CSR
 	MACCs     int64
 }
 
-// NewGramWorkload pre-processes a 3-tensor for the Gram experiments.
+// NewGramWorkload pre-processes a 3-tensor for the Gram experiments with
+// the default configuration (auto grid, sequential reference kernel).
 func NewGramWorkload(name string, x *tensor.CSF3, microTile int) (*GramWorkload, error) {
-	if microTile < 1 {
-		return nil, fmt.Errorf("accel: %s: micro tile %d", name, microTile)
+	return NewGramWorkloadWith(name, x, WorkloadConfig{MicroTile: microTile})
+}
+
+// NewGramWorkloadWith is NewGramWorkload with the full configuration
+// bundle. Format applies only to the 2-D output grid; the 3-D tensor grid
+// has a single CSF-modeled micro-tile representation.
+func NewGramWorkloadWith(name string, x *tensor.CSF3, cfg WorkloadConfig) (*GramWorkload, error) {
+	mt := cfg.MicroTile
+	if mt < 1 {
+		return nil, fmt.Errorf("accel: %s: micro tile %d", name, mt)
 	}
-	z, st := kernels.Gram(x)
+	var z *tensor.CSR
+	var st kernels.Stats
+	if cfg.Parallel != 0 && cfg.Parallel != 1 {
+		z, st = kernels.GramParallel(x, cfg.Parallel)
+	} else {
+		z, st = kernels.Gram(x)
+	}
 	return &GramWorkload{
 		Name:      name,
 		X:         x,
-		MicroTile: microTile,
-		G3:        tiling.NewGrid3(x, microTile, microTile, microTile),
-		GZ:        tiling.NewGrid(z, microTile, microTile),
+		MicroTile: mt,
+		G3:        tiling.NewSummaryGrid3(x, mt, mt, mt, cfg.Grid),
+		GZ:        tiling.NewSummaryGrid(z, mt, mt, cfg.Format, cfg.Grid),
 		Z:         z,
 		MACCs:     st.MACCs,
 	}, nil
@@ -69,10 +84,11 @@ type GramOptions struct {
 // of the same tensor, the first indexed (i, j, k) and the second (l, j, k),
 // so the contracted j/k growth of one co-tiles the other.
 func (w *GramWorkload) kernel(capA, capB, capO int64, constrainOutput bool) *core.Kernel {
+	gi, gj, gk := w.G3.Extents3()
 	k := &core.Kernel{
 		DimNames:   []string{"I", "L", "J", "K"},
 		Contracted: []bool{false, false, true, true},
-		Extent:     []int{w.G3.GI, w.G3.GI, w.G3.GJ, w.G3.GK},
+		Extent:     []int{gi, gi, gj, gk},
 		Operands: []core.Operand{
 			{Name: "X(i,j,k)", Dims: []int{GramDimI, GramDimJ, GramDimK}, View: core.TensorView{G: w.G3}, Capacity: capA},
 			{Name: "X(l,j,k)", Dims: []int{GramDimL, GramDimJ, GramDimK}, View: core.TensorView{G: w.G3}, Capacity: capB},
@@ -157,7 +173,8 @@ func RunGram(w *GramWorkload, opt GramOptions) (sim.Result, error) {
 		res.MACCs += tr.MACCs
 		res.IntersectOps += tr.ScannedA + tr.MACCs
 		var taskCompute float64
-		for _, rc := range sim.RowWorkCycles(opt.Intersect, tr.Rows) {
+		for _, rw := range tr.Rows {
+			rc := sim.ComputeCycles(opt.Intersect, int64(rw.AElems)+rw.MACCs, rw.MACCs)
 			pe.Assign(rc)
 			taskCompute += rc
 		}

@@ -14,6 +14,21 @@ import (
 	"drt/internal/tiling"
 )
 
+// WorkloadConfig bundles the pre-processing knobs of workload construction.
+// The zero value reproduces the historical defaults: T-UC micro tiles,
+// auto-selected grid representation, sequential reference kernel.
+type WorkloadConfig struct {
+	MicroTile int
+	Format    tiling.Format
+	// Grid selects the micro-tile summary representation (tiling.Auto picks
+	// dense or compressed by the cell-count budget).
+	Grid tiling.Mode
+	// Parallel is the reference-kernel worker count: 0 or 1 run
+	// sequentially, <0 selects one worker per CPU. The parallel kernels are
+	// bit-identical to the sequential ones, so this only affects wall time.
+	Parallel int
+}
+
 // Workload is one SpMSpM instance Z = A·B prepared for simulation: the
 // operands pre-processed into micro tiles (Sec. 5.2.4) and the exact
 // reference result, computed once with the Gustavson reference kernel and
@@ -24,9 +39,9 @@ type Workload struct {
 	A, B      *tensor.CSR
 	MicroTile int
 
-	GA *tiling.Grid // A as I×K (rows I)
-	GB *tiling.Grid // B as K×J (rows K)
-	GZ *tiling.Grid // reference Z as I×J
+	GA tiling.Summary // A as I×K (rows I)
+	GB tiling.Summary // B as K×J (rows K)
+	GZ tiling.Summary // reference Z as I×J
 
 	Z     *tensor.CSR
 	MACCs int64
@@ -35,28 +50,40 @@ type Workload struct {
 // NewWorkload pre-processes one SpMSpM instance with the given micro tile
 // edge in the default T-UC micro tile representation.
 func NewWorkload(name string, a, b *tensor.CSR, microTile int) (*Workload, error) {
-	return NewWorkloadWithFormat(name, a, b, microTile, tiling.TUC)
+	return NewWorkloadWith(name, a, b, WorkloadConfig{MicroTile: microTile})
 }
 
 // NewWorkloadWithFormat is NewWorkload with an explicit micro-tile
 // representation (Sec. 6.3 expects T-CC to resolve the metadata-overhead
 // outliers of the software study).
 func NewWorkloadWithFormat(name string, a, b *tensor.CSR, microTile int, f tiling.Format) (*Workload, error) {
+	return NewWorkloadWith(name, a, b, WorkloadConfig{MicroTile: microTile, Format: f})
+}
+
+// NewWorkloadWith is NewWorkload with the full configuration bundle.
+func NewWorkloadWith(name string, a, b *tensor.CSR, cfg WorkloadConfig) (*Workload, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("accel: %s: A is %dx%d but B is %dx%d", name, a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	if microTile < 1 {
-		return nil, fmt.Errorf("accel: %s: micro tile %d", name, microTile)
+	mt := cfg.MicroTile
+	if mt < 1 {
+		return nil, fmt.Errorf("accel: %s: micro tile %d", name, mt)
 	}
-	z, st := kernels.Gustavson(a, b)
+	var z *tensor.CSR
+	var st kernels.Stats
+	if cfg.Parallel != 0 && cfg.Parallel != 1 {
+		z, st = kernels.GustavsonParallel(a, b, cfg.Parallel)
+	} else {
+		z, st = kernels.Gustavson(a, b)
+	}
 	return &Workload{
 		Name:      name,
 		A:         a,
 		B:         b,
-		MicroTile: microTile,
-		GA:        tiling.NewGridWithFormat(a, microTile, microTile, f),
-		GB:        tiling.NewGridWithFormat(b, microTile, microTile, f),
-		GZ:        tiling.NewGridWithFormat(z, microTile, microTile, f),
+		MicroTile: mt,
+		GA:        tiling.NewSummaryGrid(a, mt, mt, cfg.Format, cfg.Grid),
+		GB:        tiling.NewSummaryGrid(b, mt, mt, cfg.Format, cfg.Grid),
+		GZ:        tiling.NewSummaryGrid(z, mt, mt, cfg.Format, cfg.Grid),
 		Z:         z,
 		MACCs:     st.MACCs,
 	}, nil
@@ -65,10 +92,12 @@ func NewWorkloadWithFormat(name string, a, b *tensor.CSR, microTile int, f tilin
 // Kernel assembles the I,J,K DRT kernel description for this workload with
 // the given input-operand partition capacities.
 func (w *Workload) Kernel(capA, capB int64) *core.Kernel {
+	gaR, gaC := w.GA.Extents()
+	_, gbC := w.GB.Extents()
 	return &core.Kernel{
 		DimNames:   []string{"I", "J", "K"},
 		Contracted: []bool{false, false, true},
-		Extent:     []int{w.GA.GR, w.GB.GC, w.GA.GC},
+		Extent:     []int{gaR, gbC, gaC},
 		Operands: []core.Operand{
 			{Name: "A", Dims: []int{dimI, dimK}, View: core.MatrixView{G: w.GA}, Capacity: capA},
 			{Name: "B", Dims: []int{dimK, dimJ}, View: core.MatrixView{G: w.GB}, Capacity: capB},

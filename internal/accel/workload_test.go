@@ -60,7 +60,9 @@ func TestWorkloadKernels(t *testing.T) {
 		t.Fatalf("output kernel wrong: %+v", ko.Operands)
 	}
 	// Extents must be consistent between A's columns and B's rows.
-	if k.Extent[DimK] != w.GA.GC || w.GA.GC != w.GB.GR {
+	_, gaC := w.GA.Extents()
+	gbR, _ := w.GB.Extents()
+	if k.Extent[DimK] != gaC || gaC != gbR {
 		t.Fatal("K extent inconsistent between operands")
 	}
 }

@@ -2,12 +2,12 @@ package core
 
 import "drt/internal/tiling"
 
-// MatrixView adapts a 2-D micro-tile grid to the View interface. The
-// operand's first dimension maps to grid rows and the second to grid
-// columns; set Transposed when the operand is the transpose of the stored
-// matrix (e.g. a view of Aᵀ over A's grid).
+// MatrixView adapts a 2-D micro-tile grid summary (dense or compressed)
+// to the View interface. The operand's first dimension maps to grid rows
+// and the second to grid columns; set Transposed when the operand is the
+// transpose of the stored matrix (e.g. a view of Aᵀ over A's grid).
 type MatrixView struct {
-	G          *tiling.Grid
+	G          tiling.Summary
 	Transposed bool
 }
 
@@ -37,11 +37,12 @@ func (v MatrixView) Tiles(rs []Range) int64 {
 	return v.G.RegionTiles(r.Lo, r.Hi, c.Lo, c.Hi)
 }
 
-// TensorView adapts a 3-D micro-tile grid: the operand's dimensions map to
-// the grid's (I, J, K) axes through Axes, so the Gram kernel's second
-// operand χ_ljk can reuse χ's grid with its l dimension mapped to axis 0.
+// TensorView adapts a 3-D micro-tile grid summary (dense or compressed):
+// the operand's dimensions map to the grid's (I, J, K) axes through Axes,
+// so the Gram kernel's second operand χ_ljk can reuse χ's grid with its l
+// dimension mapped to axis 0.
 type TensorView struct {
-	G *tiling.Grid3
+	G tiling.Summary3
 	// Axes[a] gives, for grid axis a (0=I, 1=J, 2=K), the index into the
 	// operand's ranges slice. A nil Axes means identity.
 	Axes *[3]int

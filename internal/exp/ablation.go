@@ -37,11 +37,14 @@ func (c *Context) AblTCC() (*metrics.Table, error) {
 	}
 	cells, err := forEntries(c, c.fig6Entries(), func(e workloads.Entry) (cell, error) {
 		a := e.Generate(c.Opt.Scale)
-		wTUC, err := accel.NewWorkloadWithFormat(e.Name, a, a, c.Opt.MicroTile, tiling.TUC)
+		cfg := c.workloadConfig()
+		cfg.Format = tiling.TUC
+		wTUC, err := accel.NewWorkloadWith(e.Name, a, a, cfg)
 		if err != nil {
 			return cell{}, err
 		}
-		wTCC, err := accel.NewWorkloadWithFormat(e.Name, a, a, c.Opt.MicroTile, tiling.TCC)
+		cfg.Format = tiling.TCC
+		wTCC, err := accel.NewWorkloadWith(e.Name, a, a, cfg)
 		if err != nil {
 			return cell{}, err
 		}
@@ -93,7 +96,9 @@ func (c *Context) AblAutoTile() (*metrics.Table, error) {
 		a := e.Generate(c.Opt.Scale)
 		edge := tiling.SuggestMicroTile(a, 4, 8, 16, 32)
 		run := func(mt int) (int64, error) {
-			w, err := accel.NewWorkload(e.Name, a, a, mt)
+			cfg := c.workloadConfig()
+			cfg.MicroTile = mt
+			w, err := accel.NewWorkloadWith(e.Name, a, a, cfg)
 			if err != nil {
 				return 0, err
 			}

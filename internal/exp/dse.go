@@ -207,7 +207,9 @@ func (c *Context) Fig17() (*metrics.Table, error) {
 		a := e.Generate(c.Opt.Scale)
 		var mbs []float64
 		for _, mt := range mts {
-			w, err := accel.NewWorkload(e.Name, a, a, mt)
+			cfg := c.workloadConfig()
+			cfg.MicroTile = mt
+			w, err := accel.NewWorkloadWith(e.Name, a, a, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -20,6 +20,7 @@ import (
 	"drt/internal/obs"
 	"drt/internal/par"
 	"drt/internal/sim"
+	"drt/internal/tiling"
 	"drt/internal/workloads"
 )
 
@@ -34,10 +35,17 @@ type Options struct {
 	// (0 = all); tests and quick benches use small values.
 	MaxWorkloads int
 	// Parallel is the worker count the runners fan their (workload ×
-	// config) cells across (0 or negative = one worker per CPU). Results
-	// are reassembled in input order, so every table is byte-identical to
-	// a Parallel == 1 (sequential) run.
+	// config) cells across (0 or negative = one worker per CPU). The same
+	// count drives the parallel reference kernels during workload
+	// preparation. Results are reassembled in input order and the parallel
+	// kernels are bit-identical to the sequential ones, so every table is
+	// byte-identical to a Parallel == 1 (sequential) run.
 	Parallel int
+	// Grid selects the micro-tile grid representation (tiling.Auto picks
+	// dense or compressed per matrix by the cell-count budget). Both
+	// representations answer queries identically, so tables do not depend
+	// on it.
+	Grid tiling.Mode
 	// Rec, when non-nil, receives run metadata (each prepared workload's
 	// generator spec) and wall-clock phase spans for workload preparation,
 	// so the benchmark harness's metrics dump records how to rebuild every
@@ -145,11 +153,22 @@ func (c *Context) buildSquare(e workloads.Entry) (*accel.Workload, error) {
 		rec.SetMeta("workload."+e.Name+".spec", string(spec))
 	}
 	a := e.Generate(c.Opt.Scale)
-	w, err := accel.NewWorkload(e.Name, a, a, c.Opt.MicroTile)
+	w, err := accel.NewWorkloadWith(e.Name, a, a, c.workloadConfig())
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 	}
 	return w, nil
+}
+
+// workloadConfig is the workload pre-processing configuration the context's
+// options select (micro tile, grid representation, reference-kernel
+// parallelism).
+func (c *Context) workloadConfig() accel.WorkloadConfig {
+	return accel.WorkloadConfig{
+		MicroTile: c.Opt.MicroTile,
+		Grid:      c.Opt.Grid,
+		Parallel:  c.Opt.Parallel,
+	}
 }
 
 // fig6Entries returns the Fig. 6 matrix set, truncated per MaxWorkloads

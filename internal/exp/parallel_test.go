@@ -6,21 +6,23 @@ import (
 
 	"drt/internal/accel"
 	"drt/internal/obs"
+	"drt/internal/tiling"
 )
 
-// TestParallelDeterminism is the acceptance check for the parallel runner:
-// the same experiment run sequentially and with eight workers must render
-// byte-identical tables. The ids cover the three fan-out shapes the
-// runners use — per-entry cells (fig6), a flattened multi-axis grid with
-// geomean slices over the flat results (fig16) and cells with internal
+// TestParallelDeterminism is the acceptance check for the parallel runner
+// and the grid-mode switch: the same experiment run sequentially with dense
+// grids, with eight workers, and with eight workers on compressed grids
+// must render byte-identical tables. The ids cover the three fan-out shapes
+// the runners use — per-entry cells (fig6), a flattened multi-axis grid
+// with geomean slices over the flat results (fig16) and cells with internal
 // candidate sweeps (abl-part) — picking the cheapest experiment of each
-// shape so the double run stays affordable under -race on one core.
+// shape so the triple run stays affordable under -race on one core.
 func TestParallelDeterminism(t *testing.T) {
 	for _, id := range []string{"fig6", "fig16", "abl-part"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			render := func(parallel int) string {
-				c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Parallel: parallel})
+			render := func(parallel int, grid tiling.Mode) string {
+				c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Parallel: parallel, Grid: grid})
 				f, ok := c.Runner(id)
 				if !ok {
 					t.Fatalf("no runner for %s", id)
@@ -31,9 +33,12 @@ func TestParallelDeterminism(t *testing.T) {
 				}
 				return table.String()
 			}
-			seq, par8 := render(1), render(8)
-			if seq != par8 {
+			seq := render(1, tiling.Dense)
+			if par8 := render(8, tiling.Dense); seq != par8 {
 				t.Errorf("-parallel 8 output diverged from sequential:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s", seq, par8)
+			}
+			if comp := render(8, tiling.Compressed); seq != comp {
+				t.Errorf("-grid compressed output diverged from dense:\n--- dense ---\n%s\n--- compressed ---\n%s", seq, comp)
 			}
 		})
 	}

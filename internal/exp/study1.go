@@ -174,9 +174,9 @@ func (c *Context) Fig07() (*metrics.Table, error) {
 		var w *accel.Workload
 		var err error
 		if suffix == "FᵀF" {
-			w, err = accel.NewWorkload(e.Name+"-FtF", fT, f, c.Opt.MicroTile)
+			w, err = accel.NewWorkloadWith(e.Name+"-FtF", fT, f, c.workloadConfig())
 		} else {
-			w, err = accel.NewWorkload(e.Name+"-FFt", f, fT, c.Opt.MicroTile)
+			w, err = accel.NewWorkloadWith(e.Name+"-FFt", f, fT, c.workloadConfig())
 		}
 		if err != nil {
 			return pairRow{}, err
@@ -252,7 +252,7 @@ func (c *Context) Fig08() (*metrics.Table, error) {
 		var iterWs []*accel.Workload
 		busiest := 0
 		for i, f := range run.Frontiers {
-			w, err := accel.NewWorkload(e.Name+"-bfs", f, s, c.Opt.MicroTile)
+			w, err := accel.NewWorkloadWith(e.Name+"-bfs", f, s, c.workloadConfig())
 			if err != nil {
 				return rowData{}, err
 			}

@@ -51,7 +51,9 @@ func (c *Context) Fig09() (*metrics.Table, error) {
 	cells, err := par.Map(c.Opt.Parallel, len(suite), func(i int) (cell, error) {
 		e := suite[i]
 		x := e.Generate(ts)
-		gw, err := accel.NewGramWorkload(e.Name, x, c.Opt.MicroTile/2+1)
+		cfg := c.workloadConfig()
+		cfg.MicroTile = c.Opt.MicroTile/2 + 1
+		gw, err := accel.NewGramWorkloadWith(e.Name, x, cfg)
 		if err != nil {
 			return cell{}, err
 		}

@@ -30,7 +30,7 @@ import (
 // reproduced bit-for-bit from its recorded metadata alone.
 type Spec struct {
 	// Kind selects the generator: "uniform", "banded", "rmat",
-	// "frontier" or "tallskinny".
+	// "frontier", "tallskinny" or "hypersparse".
 	Kind string `json:"kind"`
 	Rows int    `json:"rows"`
 	Cols int    `json:"cols"`
@@ -70,6 +70,11 @@ func (s Spec) Build() (*tensor.CSR, error) {
 		return RMAT(s.Rows, s.NNZ, s.A, s.B, s.C, s.Seed), nil
 	case "frontier":
 		return Frontier(s.Cols, s.Rows, s.Seed), nil
+	case "hypersparse":
+		if s.Rows != s.Cols {
+			return nil, fmt.Errorf("gen: hypersparse spec must be square, got %dx%d", s.Rows, s.Cols)
+		}
+		return HyperSparse(s.Rows, s.NNZ, s.Seed), nil
 	}
 	return nil, fmt.Errorf("gen: unknown generator kind %q", s.Kind)
 }
@@ -190,6 +195,16 @@ func Frontier(n, sources int, seed int64) *tensor.CSR {
 // uniformly placed non-zeros; the FᵀF / FFᵀ workloads of Fig. 7 use it.
 func TallSkinny(rows, cols, nnz int, seed int64) *tensor.CSR {
 	return Uniform(rows, cols, nnz, seed)
+}
+
+// HyperSparse returns an n×n matrix with about nnz non-zeros where
+// nnz << n: almost every row and column is empty, the regime where dense
+// per-cell tiling summaries waste O(grid cells) memory on emptiness (the
+// MS-BFS frontier products and Fig. 11's metadata-overhead outliers live
+// here). Non-zeros are scattered uniformly, so occupied micro tiles almost
+// always hold a single point.
+func HyperSparse(n, nnz int, seed int64) *tensor.CSR {
+	return Uniform(n, n, nnz, seed)
 }
 
 // Tensor3 returns an i×j×k tensor with about nnz uniformly placed

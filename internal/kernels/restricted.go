@@ -1,8 +1,6 @@
 package kernels
 
 import (
-	"sort"
-
 	"drt/internal/obs"
 	"drt/internal/tensor"
 )
@@ -44,13 +42,17 @@ type TaskResult struct {
 // of the iteration space equals the full kernel, which the simulators rely
 // on for exact traffic accounting.
 //
-// The spa scratch buffers must have length ≥ b.Cols and are reused across
-// calls; pass nil to allocate fresh ones.
+// The spa scratch must have width ≥ b.Cols and is reused across calls;
+// pass nil to allocate a fresh one. The returned Rows slice aliases the
+// scratch and is valid only until the next call with the same spa — the
+// simulator task loops consume it before issuing the next task, which
+// keeps the whole stream allocation-free (pinned by TestRestrictedAllocs).
 func RestrictedGustavson(a, b *tensor.CSR, iR, kR, jR Range, spa *SPA) TaskResult {
 	if spa == nil {
 		spa = NewSPA(b.Cols)
 	}
 	var res TaskResult
+	rows := spa.rows[:0]
 	for i := iR.Lo; i < iR.Hi && i < a.Rows; i++ {
 		if i < 0 {
 			continue
@@ -73,9 +75,11 @@ func RestrictedGustavson(a, b *tensor.CSR, iR, kR, jR Range, spa *SPA) TaskResul
 		res.ScannedA += int64(hi - lo)
 		if n := spa.Touched(); n > 0 || rowMACCs > 0 {
 			res.OutputNNZ += int64(n)
-			res.Rows = append(res.Rows, RowWork{Row: i, MACCs: rowMACCs, AElems: hi - lo, OutNNZ: n})
+			rows = append(rows, RowWork{Row: i, MACCs: rowMACCs, AElems: hi - lo, OutNNZ: n})
 		}
 	}
+	spa.rows = rows
+	res.Rows = rows
 	return res
 }
 
@@ -94,12 +98,26 @@ func (r *TaskResult) Record(rec obs.Recorder) {
 }
 
 // SPA is a dense sparse accumulator with generation-counter clearing,
-// reused across tasks to avoid re-zeroing.
+// reused across tasks to avoid re-zeroing. Columns are accumulated fiber
+// by fiber, each fiber sorted, so the touched-column list is a sequence of
+// sorted runs; emission merges the runs instead of comparison-sorting,
+// keeping the hot loops free of per-row allocations.
 type SPA struct {
 	acc  []float64
 	gen  []int
 	cur  int
 	cols []int
+	// runs holds the interior boundaries of the ascending runs in cols: a
+	// new run starts whenever an appended column is below its predecessor.
+	runs []int
+	// Merge and drain scratch, grown once and reused.
+	buf     []int
+	bounds  []int
+	bounds2 []int
+	vals    []float64
+	// rows is the RestrictedGustavson per-task RowWork scratch, pooled
+	// here so both engine call sites share one reusable buffer.
+	rows []RowWork
 }
 
 // NewSPA returns an accumulator covering column coordinates [0, width).
@@ -111,6 +129,7 @@ func NewSPA(width int) *SPA {
 func (s *SPA) Reset() {
 	s.cur++
 	s.cols = s.cols[:0]
+	s.runs = s.runs[:0]
 }
 
 // Add accumulates v into column j.
@@ -118,20 +137,94 @@ func (s *SPA) Add(j int, v float64) {
 	if s.gen[j] != s.cur {
 		s.gen[j] = s.cur
 		s.acc[j] = 0
+		if n := len(s.cols); n > 0 && j < s.cols[n-1] {
+			s.runs = append(s.runs, n)
+		}
 		s.cols = append(s.cols, j)
 	}
 	s.acc[j] += v
 }
 
+// Value returns the accumulated value of column j this epoch (0 when the
+// column was not touched).
+func (s *SPA) Value(j int) float64 {
+	if s.gen[j] != s.cur {
+		return 0
+	}
+	return s.acc[j]
+}
+
 // Touched returns the number of distinct columns accumulated this epoch.
 func (s *SPA) Touched() int { return len(s.cols) }
 
+// SortedCols returns the distinct columns touched this epoch in ascending
+// order by merging the accumulation's sorted runs pairwise — O(n·log runs)
+// with no comparison sort and no allocation once the scratch has warmed
+// up. The returned slice aliases the accumulator and is valid until the
+// next Reset or Add.
+func (s *SPA) SortedCols() []int {
+	if len(s.runs) == 0 {
+		return s.cols // single ascending run
+	}
+	n := len(s.cols)
+	if cap(s.buf) < n {
+		s.buf = make([]int, n)
+	}
+	src, dst := s.cols, s.buf[:n]
+	b := append(s.bounds[:0], 0)
+	b = append(b, s.runs...)
+	b = append(b, n)
+	nb := s.bounds2[:0]
+	for len(b) > 2 {
+		nb = nb[:0]
+		nb = append(nb, 0)
+		i := 0
+		for ; i+2 < len(b); i += 2 {
+			mergeInts(dst[b[i]:b[i+2]], src[b[i]:b[i+1]], src[b[i+1]:b[i+2]])
+			nb = append(nb, b[i+2])
+		}
+		if i+1 < len(b) { // odd run out: carry it to the next round
+			copy(dst[b[i]:b[i+1]], src[b[i]:b[i+1]])
+			nb = append(nb, b[i+1])
+		}
+		src, dst = dst, src
+		b, nb = nb, b
+	}
+	s.cols, s.buf = src, dst
+	s.runs = s.runs[:0]
+	s.bounds, s.bounds2 = b, nb
+	return s.cols
+}
+
+// mergeInts merges two sorted, duplicate-free slices into dst
+// (len(dst) == len(a)+len(b)).
+func mergeInts(dst, a, b []int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}
+
 // Drain returns the sorted (column, value) pairs of the current epoch.
+// Both slices alias the accumulator's scratch and are valid until the next
+// Reset, Add or Drain.
 func (s *SPA) Drain() ([]int, []float64) {
-	sort.Ints(s.cols)
-	vals := make([]float64, len(s.cols))
-	for p, j := range s.cols {
+	cols := s.SortedCols()
+	if cap(s.vals) < len(cols) {
+		s.vals = make([]float64, len(cols))
+	}
+	vals := s.vals[:len(cols)]
+	for p, j := range cols {
 		vals[p] = s.acc[j]
 	}
-	return s.cols, vals
+	return cols, vals
 }

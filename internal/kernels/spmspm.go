@@ -8,8 +8,9 @@ package kernels
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
+	"drt/internal/par"
 	"drt/internal/tensor"
 )
 
@@ -27,40 +28,94 @@ func Gustavson(a, b *tensor.CSR) (*tensor.CSR, Stats) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("kernels: spmspm shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	var st Stats
 	z := &tensor.CSR{Rows: a.Rows, Cols: b.Cols, Ptr: make([]int, a.Rows+1)}
-	// Dense sparse-accumulator (SPA) with a generation counter so it is
-	// cleared in O(row nnz), not O(Cols).
-	acc := make([]float64, b.Cols)
-	gen := make([]int, b.Cols)
-	cur := 0
-	var cols []int
-	for i := 0; i < a.Rows; i++ {
-		cur++
-		cols = cols[:0]
+	st := gustavsonRows(a, b, 0, a.Rows, NewSPA(b.Cols), z)
+	st.OutputNNZ = int64(z.NNZ())
+	return z, st
+}
+
+// gustavsonRows computes output rows [r0, r1) of A·B, appending into z,
+// whose Ptr slice must have length (r1-r0)+1; z.Ptr[i-r0+1] receives the
+// running nnz. Per-row emission uses the SPA's sorted-run merge, so the
+// inner loops are free of comparison sorts and per-row allocations.
+func gustavsonRows(a, b *tensor.CSR, r0, r1 int, spa *SPA, z *tensor.CSR) Stats {
+	var st Stats
+	for i := r0; i < r1; i++ {
+		spa.Reset()
 		fa := a.Row(i)
 		for p, k := range fa.Coords {
 			av := fa.Vals[p]
 			fb := b.Row(k)
+			st.MACCs += int64(fb.Len())
 			for q, j := range fb.Coords {
-				st.MACCs++
-				if gen[j] != cur {
-					gen[j] = cur
-					acc[j] = 0
-					cols = append(cols, j)
-				}
-				acc[j] += av * fb.Vals[q]
+				spa.Add(j, av*fb.Vals[q])
 			}
 		}
-		sort.Ints(cols)
-		for _, j := range cols {
-			if acc[j] == 0 {
+		for _, j := range spa.SortedCols() {
+			if spa.acc[j] == 0 {
 				continue // numerically cancelled
 			}
 			z.Idx = append(z.Idx, j)
-			z.Val = append(z.Val, acc[j])
+			z.Val = append(z.Val, spa.acc[j])
 		}
-		z.Ptr[i+1] = len(z.Idx)
+		z.Ptr[i-r0+1] = len(z.Idx)
+	}
+	return st
+}
+
+// GustavsonParallel is Gustavson over row blocks mapped across the worker
+// pool. Each worker keeps its own SPA scratch and emits a private partial
+// CSR; the blocks are stitched back in row order, so the result — values
+// included — is bit-identical to the sequential kernel (each row's
+// accumulation order is unchanged). workers < 1 selects one per CPU;
+// workers == 1 falls through to the sequential path.
+func GustavsonParallel(a, b *tensor.CSR, workers int) (*tensor.CSR, Stats) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("kernels: spmspm shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	workers = par.Workers(workers)
+	if workers <= 1 || a.Rows < 2 {
+		return Gustavson(a, b)
+	}
+	// Over-decompose so an unlucky dense block doesn't serialize the tail.
+	nb := workers * 4
+	if nb > a.Rows {
+		nb = a.Rows
+	}
+	type block struct {
+		z     *tensor.CSR
+		maccs int64
+	}
+	var pool sync.Pool // per-worker *SPA, reused across blocks
+	blocks, _ := par.Map(workers, nb, func(bi int) (block, error) {
+		r0, r1 := bi*a.Rows/nb, (bi+1)*a.Rows/nb
+		spa, _ := pool.Get().(*SPA)
+		if spa == nil {
+			spa = NewSPA(b.Cols)
+		}
+		bz := &tensor.CSR{Rows: r1 - r0, Cols: b.Cols, Ptr: make([]int, r1-r0+1)}
+		st := gustavsonRows(a, b, r0, r1, spa, bz)
+		pool.Put(spa)
+		return block{z: bz, maccs: st.MACCs}, nil
+	})
+	var st Stats
+	z := &tensor.CSR{Rows: a.Rows, Cols: b.Cols, Ptr: make([]int, a.Rows+1)}
+	total := 0
+	for _, blk := range blocks {
+		total += len(blk.z.Idx)
+	}
+	z.Idx = make([]int, 0, total)
+	z.Val = make([]float64, 0, total)
+	row := 0
+	for _, blk := range blocks {
+		off := len(z.Idx)
+		z.Idx = append(z.Idx, blk.z.Idx...)
+		z.Val = append(z.Val, blk.z.Val...)
+		for r := 1; r < len(blk.z.Ptr); r++ {
+			z.Ptr[row+r] = off + blk.z.Ptr[r]
+		}
+		row += blk.z.Rows
+		st.MACCs += blk.maccs
 	}
 	st.OutputNNZ = int64(z.NNZ())
 	return z, st
@@ -78,17 +133,23 @@ func InnerProduct(a, bT *tensor.CSR) (*tensor.CSR, Stats, tensor.IntersectStats)
 	var st Stats
 	var ist tensor.IntersectStats
 	z := &tensor.CSR{Rows: a.Rows, Cols: bT.Rows, Ptr: make([]int, a.Rows+1)}
+	// Precompute the occupied rows of Bᵀ once instead of re-scanning all
+	// bT.Rows (including the empty ones) for every row of A — on
+	// hyper-sparse operands almost every candidate column is empty.
+	occ := make([]int, 0, bT.Rows)
+	for j := 0; j < bT.Rows; j++ {
+		if bT.Ptr[j+1] > bT.Ptr[j] {
+			occ = append(occ, j)
+		}
+	}
 	for i := 0; i < a.Rows; i++ {
 		fa := a.Row(i)
 		if fa.Len() == 0 {
 			z.Ptr[i+1] = len(z.Idx)
 			continue
 		}
-		for j := 0; j < bT.Rows; j++ {
+		for _, j := range occ {
 			fb := bT.Row(j)
-			if fb.Len() == 0 {
-				continue
-			}
 			v, s := tensor.Dot(fa, fb)
 			ist.Comparisons += s.Comparisons
 			ist.Matches += s.Matches

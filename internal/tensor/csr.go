@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -201,24 +202,7 @@ func (c *CSR) RowNNZVariation() float64 {
 		d := float64(c.Ptr[i+1]-c.Ptr[i]) - mean
 		ss += d * d
 	}
-	return sqrt(ss/float64(c.Rows)) / mean
-}
-
-// sqrt is a dependency-free Newton square root; the tensor package avoids
-// importing math for a single call site.
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	z := x
-	for i := 0; i < 64; i++ {
-		nz := (z + x/z) / 2
-		if nz == z {
-			break
-		}
-		z = nz
-	}
-	return z
+	return math.Sqrt(ss/float64(c.Rows)) / mean
 }
 
 // Validate checks the structural invariants of the representation and

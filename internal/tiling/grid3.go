@@ -79,21 +79,9 @@ func (g *Grid3) buildSums(counts []int64) {
 }
 
 func (g *Grid3) clampBox(i0, i1, j0, j1, k0, k1 int) (int, int, int, int, int, int) {
-	cl := func(lo, hi, ext int) (int, int) {
-		if lo < 0 {
-			lo = 0
-		}
-		if hi > ext {
-			hi = ext
-		}
-		if hi < lo {
-			hi = lo
-		}
-		return lo, hi
-	}
-	i0, i1 = cl(i0, i1, g.GI)
-	j0, j1 = cl(j0, j1, g.GJ)
-	k0, k1 = cl(k0, k1, g.GK)
+	i0, i1 = clampSpan(i0, i1, g.GI)
+	j0, j1 = clampSpan(j0, j1, g.GJ)
+	k0, k1 = clampSpan(k0, k1, g.GK)
 	return i0, i1, j0, j1, k0, k1
 }
 
@@ -122,3 +110,6 @@ func (g *Grid3) RegionTiles(i0, i1, j0, j1, k0, k1 int) int64 {
 	i0, i1, j0, j1, k0, k1 = g.clampBox(i0, i1, j0, j1, k0, k1)
 	return g.boxQuery(g.tileSum, i0, i1, j0, j1, k0, k1)
 }
+
+// Extents3 implements Summary3.
+func (g *Grid3) Extents3() (int, int, int) { return g.GI, g.GJ, g.GK }

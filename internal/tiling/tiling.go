@@ -158,25 +158,28 @@ func (g *Grid) buildSums(counts []int64) {
 
 // clampRect clips a grid-coordinate rectangle to the grid extents.
 func (g *Grid) clampRect(r0, r1, c0, c1 int) (int, int, int, int) {
-	if r0 < 0 {
-		r0 = 0
-	}
-	if c0 < 0 {
-		c0 = 0
-	}
-	if r1 > g.GR {
-		r1 = g.GR
-	}
-	if c1 > g.GC {
-		c1 = g.GC
-	}
-	if r1 < r0 {
-		r1 = r0
-	}
-	if c1 < c0 {
-		c1 = c0
-	}
+	r0, r1 = clampSpan(r0, r1, g.GR)
+	c0, c1 = clampSpan(c0, c1, g.GC)
 	return r0, r1, c0, c1
+}
+
+// clampSpan clips a half-open interval to [0, ext]. Both bounds are
+// clamped: an interval lying entirely past the extent must collapse to
+// empty, not index past the prefix sums.
+func clampSpan(lo, hi, ext int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > ext {
+		lo = ext
+	}
+	if hi > ext {
+		hi = ext
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }
 
 func rectQuery(sum []int64, w, r0, r1, c0, c1 int) int64 {
@@ -211,6 +214,22 @@ func (g *Grid) TotalFootprint() int64 { return g.RegionFootprint(0, g.GR, 0, g.G
 // TotalNNZ returns the matrix occupancy.
 func (g *Grid) TotalNNZ() int64 { return g.RegionNNZ(0, g.GR, 0, g.GC) }
 
+// Extents implements Summary.
+func (g *Grid) Extents() (int, int) { return g.GR, g.GC }
+
+// EachTile implements Summary: every grid cell is inspected and the
+// non-empty ones visited in row-major order.
+func (g *Grid) EachTile(f func(gr, gc int, nnz int64)) {
+	w := g.GC + 1
+	for r := 0; r < g.GR; r++ {
+		for c := 0; c < g.GC; c++ {
+			if n := rectQuery(g.nnzSum, w, r, r+1, c, c+1); n > 0 {
+				f(r, c, n)
+			}
+		}
+	}
+}
+
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // SuggestMicroTile picks, from the candidate edges, the micro tile size
@@ -228,7 +247,7 @@ func SuggestMicroTile(m *tensor.CSR, candidates ...int) int {
 		if edge < 1 {
 			continue
 		}
-		fp := NewGrid(m, edge, edge).TotalFootprint()
+		fp := NewAutoGrid(m, edge, edge).TotalFootprint()
 		if bestFP < 0 || fp < bestFP {
 			best, bestFP = edge, fp
 		}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# bench.sh — run the repo's benchmark suite with -benchmem and save a dated
+# JSON snapshot for longitudinal comparison.
+#
+# Usage:
+#   scripts/bench.sh                 # all benchmarks, one iteration each
+#   scripts/bench.sh GridConstruction   # filter by benchmark name regex
+#   BENCHTIME=2s scripts/bench.sh    # real measurement runs
+#
+# Writes BENCH_<YYYY-MM-DD>.json at the repo root: run metadata plus one
+# entry per benchmark (ns/op, bytes/op, allocs/op). Commit a snapshot when
+# a PR intentionally moves performance, so regressions have a baseline to
+# diff against. The ci bench-smoke job only checks the benchmarks still
+# run; this script is where numbers come from.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+benchtime="${BENCHTIME:-1x}"
+out="BENCH_$(date +%F).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... | tee "$raw"
+
+{
+  printf '{\n  "date": "%s",\n  "go": "%s",\n  "benchtime": "%s",\n' \
+    "$(date -u +%FT%TZ)" "$(go env GOVERSION)" "$benchtime"
+  printf '  "goos": "%s",\n  "goarch": "%s",\n  "benchmarks": [\n' \
+    "$(go env GOOS)" "$(go env GOARCH)"
+  awk '
+    /^Benchmark/ && NF >= 4 {
+      if (n++) printf ",\n"
+      printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", $1, $2, $3
+      if (NF >= 8) printf ",\"bytes_per_op\":%s,\"allocs_per_op\":%s", $5, $7
+      printf "}"
+    }
+    END { print "" }
+  ' "$raw"
+  printf '  ]\n}\n'
+} > "$out"
+
+echo "wrote $out"
