@@ -13,11 +13,15 @@
 //	drtbench -list                  # list experiment ids
 //	drtbench -exp fig6 -metrics-out fig6.json
 //
-// -parallel bounds the worker goroutines used for independent
-// (workload × configuration) cells inside each experiment; it defaults to
-// the CPU count and every table is byte-identical at any setting
-// (results are reassembled in input order), so -parallel 1 reproduces the
-// sequential run exactly.
+// Performance knobs (-parallel, -grid, -stream) change only how fast the
+// evaluation runs, never what it prints — every table is byte-identical at
+// any setting. -parallel bounds the worker goroutines used for independent
+// (workload × configuration) cells inside each experiment (results are
+// reassembled in input order, so -parallel 1 reproduces the sequential run
+// exactly); -grid selects the micro-tile grid representation; -stream
+// pipelines DRT task extraction alongside simulation, sharding the
+// extraction across -parallel workers (see DESIGN.md "Extraction
+// pipeline").
 //
 // -metrics-out writes every experiment's table as structured JSON together
 // with the run metadata (scale, workload generator specs, VCS revision),
@@ -61,13 +65,15 @@ func main() {
 		scale      = flag.Int("scale", 16, "workload scale-down factor (1 = full paper scale)")
 		microTile  = flag.Int("microtile", 16, "micro tile edge in coordinates")
 		maxW       = flag.Int("workloads", 0, "cap on catalog entries per experiment (0 = all)")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per experiment (1 = sequential; output is identical at any setting)")
-		gridMode   = flag.String("grid", "auto", "micro-tile grid representation: auto | dense | compressed (output is identical at any setting)")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per experiment (1 = sequential)")
+		gridMode   = flag.String("grid", "auto", "micro-tile grid representation: auto | dense | compressed")
+		stream     = flag.Bool("stream", false, "pipeline DRT task extraction alongside simulation, sharded across -parallel workers")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		metricsOut = flag.String("metrics-out", "", "write all tables and run metadata as JSON to this file")
 	)
 	prof := cli.AddProfileFlags()
+	cli.GroupUsage("drtbench", "Performance knobs", "parallel", "grid", "stream")
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtbench")
@@ -85,6 +91,7 @@ func main() {
 		rec.SetMeta("scale", fmt.Sprint(*scale))
 		rec.SetMeta("microtile", fmt.Sprint(*microTile))
 		rec.SetMeta("grid", *gridMode)
+		rec.SetMeta("stream", fmt.Sprint(*stream))
 		for k, v := range obs.BuildMeta() {
 			rec.SetMeta(k, v)
 		}
@@ -94,7 +101,7 @@ func main() {
 	if err != nil {
 		cli.Usagef("drtbench: %v", err)
 	}
-	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid}
+	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream}
 	if rec != nil {
 		opts.Rec = rec
 	}

@@ -14,6 +14,13 @@
 // run's span timeline as a Chrome trace-event file for chrome://tracing or
 // Perfetto; -metrics-out writes the JSON report to a file regardless of
 // the stdout format. Exit codes: 2 for usage errors, 1 for runtime errors.
+//
+// Performance knobs (-parallel, -grid, -stream) change only how fast the
+// simulation runs, never its result: -parallel bounds worker goroutines
+// (static-shape sweep, reference kernel, sharded extraction), -grid picks
+// the micro-tile grid representation, and -stream pipelines DRT task
+// extraction alongside simulation (see DESIGN.md "Extraction pipeline").
+// The report is byte-identical at any setting of all three.
 package main
 
 import (
@@ -57,14 +64,16 @@ func main() {
 		accelName  = flag.String("accel", "extensor-op-drt", "accelerator: "+strings.Join(accelNames, " | "))
 		scale      = flag.Int("scale", 16, "workload scale-down factor")
 		microTile  = flag.Int("microtile", 16, "micro tile edge")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the static-shape sweep and the reference kernel (1 = sequential; results identical at any setting)")
-		gridMode   = flag.String("grid", "auto", "micro-tile grid representation: auto | dense | compressed (results identical at any setting)")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the static-shape sweep, the reference kernel and sharded extraction (1 = sequential)")
+		gridMode   = flag.String("grid", "auto", "micro-tile grid representation: auto | dense | compressed")
+		stream     = flag.Bool("stream", false, "pipeline DRT task extraction alongside simulation, sharded across -parallel workers")
 		trace      = flag.Bool("trace", false, "render the DRT task tiling of the K×J plane as ASCII")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout instead of text")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the run's spans")
 		metricsOut = flag.String("metrics-out", "", "write the JSON report to this file")
 	)
 	prof := cli.AddProfileFlags()
+	cli.GroupUsage("drtsim", "Performance knobs", "parallel", "grid", "stream")
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtsim")
@@ -96,6 +105,7 @@ func main() {
 		rec.SetMeta("scale", fmt.Sprint(*scale))
 		rec.SetMeta("microtile", fmt.Sprint(*microTile))
 		rec.SetMeta("grid", *gridMode)
+		rec.SetMeta("stream", fmt.Sprint(*stream))
 		rec.SetMeta("seed", fmt.Sprint(e.Seed))
 		if spec, err := json.Marshal(e.Spec(*scale)); err == nil {
 			rec.SetMeta("workload.spec", string(spec))
@@ -125,7 +135,7 @@ func main() {
 		rec.SetMeta("machine.dram_bandwidth_bytes_per_s", fmt.Sprint(m.DRAMBandwidth))
 	}
 
-	r, err := run(*accelName, w, m, *parallel, rec)
+	r, err := run(*accelName, w, m, *parallel, *stream, rec)
 	if err != nil {
 		cli.Fatalf("drtsim: %v", err)
 	}
@@ -219,7 +229,7 @@ func printTrace(a *accel.Workload, microTile int) error {
 	return nil
 }
 
-func run(name string, w *accel.Workload, m sim.Machine, parallel int, rec *obs.Collector) (sim.Result, error) {
+func run(name string, w *accel.Workload, m sim.Machine, parallel int, stream bool, rec *obs.Collector) (sim.Result, error) {
 	var r obs.Recorder
 	if rec != nil {
 		r = rec
@@ -227,9 +237,10 @@ func run(name string, w *accel.Workload, m sim.Machine, parallel int, rec *obs.C
 	exOpt := extensor.DefaultOptions()
 	exOpt.Machine = m
 	exOpt.Parallel = parallel
+	exOpt.Stream = stream
 	exOpt.Rec = r
-	osOpt := outerspace.Options{Machine: m, Partition: exOpt.Partition, Rec: r}
-	mrOpt := matraptor.Options{Machine: m, Partition: exOpt.Partition, Rec: r}
+	osOpt := outerspace.Options{Machine: m, Partition: exOpt.Partition, Stream: stream, Parallel: parallel, Rec: r}
+	mrOpt := matraptor.Options{Machine: m, Partition: exOpt.Partition, Stream: stream, Parallel: parallel, Rec: r}
 	switch name {
 	case "extensor":
 		return extensor.Run(extensor.Original, w, exOpt)

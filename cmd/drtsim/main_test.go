@@ -37,24 +37,34 @@ func TestReportGolden(t *testing.T) {
 	}
 	a := e.Generate(scale)
 	golden := filepath.Join("testdata", "report_bcsstk17.golden")
-	for _, grid := range []tiling.Mode{tiling.Dense, tiling.Compressed} {
+	for _, cfg := range []struct {
+		grid   tiling.Mode
+		stream bool
+	}{
+		{tiling.Dense, false},
+		{tiling.Dense, true},
+		{tiling.Compressed, false},
+		{tiling.Compressed, true},
+	} {
+		grid := cfg.grid
 		w, err := accel.NewWorkloadWith(e.Name, a, a,
 			accel.WorkloadConfig{MicroTile: microTile, Grid: grid})
 		if err != nil {
 			t.Fatal(err)
 		}
 		m := exp.NewContext(exp.Options{Scale: scale, MicroTile: microTile}).Machine()
-		// The golden file was produced by a sequential run; simulating with
-		// four sweep workers and still matching it byte-for-byte pins the
-		// parallel path's determinism guarantee.
-		r, err := run(accelName, w, m, 4, nil)
+		// The golden file was produced by a sequential, non-streamed run;
+		// simulating with four workers — and, in half the cases, the
+		// pipelined sharded extraction — and still matching it byte-for-byte
+		// pins the parallel paths' determinism guarantee.
+		r, err := run(accelName, w, m, 4, cfg.stream, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
 		report(&buf, w, r, m)
 
-		if *update && grid == tiling.Dense {
+		if *update && grid == tiling.Dense && !cfg.stream {
 			if err := os.MkdirAll("testdata", 0o755); err != nil {
 				t.Fatal(err)
 			}
@@ -68,7 +78,7 @@ func TestReportGolden(t *testing.T) {
 			t.Fatalf("missing golden file (run with -update to create): %v", err)
 		}
 		if !bytes.Equal(buf.Bytes(), want) {
-			t.Errorf("report with -grid %s diverged from golden file.\n--- got ---\n%s--- want ---\n%s", grid, buf.Bytes(), want)
+			t.Errorf("report with -grid %s -stream=%v diverged from golden file.\n--- got ---\n%s--- want ---\n%s", grid, cfg.stream, buf.Bytes(), want)
 		}
 	}
 }
@@ -88,7 +98,7 @@ func TestJSONMatchesText(t *testing.T) {
 	}
 	m := exp.NewContext(exp.Options{Scale: 64, MicroTile: 8}).Machine()
 	rec := obs.NewCollector()
-	r, err := run("extensor-op-drt", w, m, 1, rec)
+	r, err := run("extensor-op-drt", w, m, 1, false, rec)
 	if err != nil {
 		t.Fatal(err)
 	}

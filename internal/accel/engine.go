@@ -34,6 +34,17 @@ type EngineOptions struct {
 	// and extraction-cycle accounting. DRAM traffic is unaffected — it is
 	// set by the outer level.
 	PELevel *PELevelOptions
+	// Stream runs task extraction as a pipelined producer/consumer
+	// (core.StreamTasks) so tile shaping overlaps simulation, mirroring
+	// the paper's extractor running ahead of the PE array. The delivered
+	// task sequence — and therefore every modeled number — is byte-
+	// identical to the inline path at any Parallel setting.
+	Stream bool
+	// Parallel is the extraction shard count when Stream is set: values
+	// above one split the outermost loop dimension across that many
+	// enumerator clones with deterministic in-order stitching. ≤ 1 keeps
+	// a single background producer.
+	Parallel int
 	// ConstrainOutput registers the output tensor in the growth kernel so
 	// its tile footprint caps growth against CapO (Alg. 1's sum-of-tile-
 	// footprints check). Output-resident designs — the software study's
@@ -184,10 +195,11 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 		InitialSize: opt.InitialSize,
 		GrowStep:    opt.GrowStep,
 	}
-	e, err := core.NewEnumerator(k, cfg)
+	src, err := newTaskSource(k, cfg, opt.Stream, opt.Parallel)
 	if err != nil {
 		return sim.Result{}, err
 	}
+	defer src.Close()
 
 	res := sim.Result{Name: w.Name, MACCs: 0}
 	pe := sim.NewPEArray(opt.Machine.PEs)
@@ -204,9 +216,13 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 	var inputTraffic int64
 	var pipe sim.Pipeline
 	pipe.Rec = opt.Rec
+	var ps *peState
+	if opt.PELevel != nil {
+		ps = newPEState(w, opt.PELevel)
+	}
 
 	for {
-		t, ok, err := e.Next()
+		t, ok, err := src.Next()
 		if err != nil {
 			return sim.Result{}, err
 		}
@@ -261,7 +277,7 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 			// Hierarchical DRT: a second tile extractor splits the LLB
 			// task into PE sub-tasks; each sub-task is one round-robin
 			// work item and its tile distribution rides the NoC.
-			inner, err := runPELevel(w, &opt, &t, pe, spa)
+			inner, err := runPELevel(ps, &opt, t, pe, spa)
 			if err != nil {
 				return sim.Result{}, err
 			}
@@ -286,7 +302,7 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 		// Extraction pipeline bookkeeping: phase total plus an explicit
 		// event-driven schedule (extract → fetch → compute per task with
 		// double buffering and per-request DRAM latency).
-		cost := extractor.TaskCost(opt.Extractor, &t)
+		cost := extractor.TaskCost(opt.Extractor, t)
 		cost.Record(opt.Rec)
 		taskExtract := cost.Total()
 		extractTotal += taskExtract
@@ -300,6 +316,7 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 	}
 	out.flush()
 	res.Traffic.Z = out.zTotal
+	recordCacheStats(rec, src.Stats(), ps)
 
 	if res.MACCs != w.MACCs {
 		return sim.Result{}, fmt.Errorf("accel: %s: task partition covered %d MACCs, kernel has %d", w.Name, res.MACCs, w.MACCs)
@@ -323,6 +340,32 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 	return res, nil
 }
 
+// newTaskSource builds the engine's task stream: inline extraction on
+// the caller's goroutine by default, or the pipelined (optionally
+// sharded) producer/consumer when stream is set.
+func newTaskSource(k *core.Kernel, cfg *core.Config, stream bool, parallel int) (core.TaskSource, error) {
+	if stream {
+		return core.StreamTasks(k, cfg, core.StreamOptions{Workers: parallel})
+	}
+	e, err := core.NewEnumerator(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Source(), nil
+}
+
+// recordCacheStats publishes the run's box-query cache totals — outer
+// extraction level plus, when present, the hierarchical PE level.
+func recordCacheStats(rec obs.Recorder, st core.ExtractStats, ps *peState) {
+	if ps != nil {
+		inner := ps.e.CacheStats()
+		st.BoxHits += inner.BoxHits
+		st.BoxMisses += inner.BoxMisses
+	}
+	rec.Count("extract.boxcache.hits", st.BoxHits)
+	rec.Count("extract.boxcache.misses", st.BoxMisses)
+}
+
 // peLevelStats aggregates one LLB task's inner (LLB→PE) tiling level.
 type peLevelStats struct {
 	maccs      int64
@@ -331,20 +374,41 @@ type peLevelStats struct {
 	extract    float64
 }
 
-// runPELevel re-tiles one outer task with the PE-level extractor and
-// distributes the resulting sub-tasks round-robin across the PE array.
-func runPELevel(w *Workload, opt *EngineOptions, outer *core.Task, pe *sim.PEArray, spa *kernels.SPA) (peLevelStats, error) {
-	var st peLevelStats
-	rec := obs.OrNop(opt.Rec)
-	pl := opt.PELevel
+// peState is the hierarchical level's reusable machinery: one enumerator
+// re-windowed per outer task (its builder scratch and box cache survive
+// the Reset) and the per-outer-task multicast maps, cleared in place.
+type peState struct {
+	w    *Workload
+	e    *core.Enumerator
+	err  error
+	seen [2]map[[2][2]int]bool
+}
+
+func newPEState(w *Workload, pl *PELevelOptions) *peState {
+	ps := &peState{w: w}
 	k := w.Kernel(pl.CapA, pl.CapB)
 	cfg := &core.Config{
 		LoopOrder: pl.LoopOrder,
 		Strategy:  pl.Strategy,
-		Window:    outer.Ranges,
 	}
-	e, err := core.NewEnumerator(k, cfg)
-	if err != nil {
+	ps.e, ps.err = core.NewEnumerator(k, cfg)
+	for oi := range ps.seen {
+		ps.seen[oi] = map[[2][2]int]bool{}
+	}
+	return ps
+}
+
+// runPELevel re-tiles one outer task with the PE-level extractor and
+// distributes the resulting sub-tasks round-robin across the PE array.
+func runPELevel(ps *peState, opt *EngineOptions, outer *core.Task, pe *sim.PEArray, spa *kernels.SPA) (peLevelStats, error) {
+	var st peLevelStats
+	if ps.err != nil {
+		return st, ps.err
+	}
+	w := ps.w
+	rec := obs.OrNop(opt.Rec)
+	e := ps.e
+	if err := e.Reset(outer.Ranges); err != nil {
 		return st, err
 	}
 	mt := w.MicroTile
@@ -356,10 +420,11 @@ func runPELevel(w *Workload, opt *EngineOptions, outer *core.Task, pe *sim.PEArr
 	// multicast (Sec. 5.2.1 notes ExTensor's regular multicast patterns)
 	// — its bytes amortize across the PE array and its metadata needs no
 	// rebuild.
-	seenRegions := [2]map[[2][2]int]bool{{}, {}}
+	seenRegions := ps.seen
 	for oi := range seenRegions {
-		seenRegions[oi] = map[[2][2]int]bool{}
+		clear(seenRegions[oi])
 	}
+	k := e.Kernel()
 	opRegion := func(oi int, t *core.Task) [2][2]int {
 		op := &k.Operands[oi]
 		var r [2][2]int

@@ -74,6 +74,10 @@ type GramOptions struct {
 	Strategy  core.Strategy // Static = S-U-C baseline, Greedy = DRT
 	Intersect sim.IntersectKind
 	Extractor extractor.Kind
+	// Stream and Parallel mirror EngineOptions: pipelined (and optionally
+	// sharded) task extraction with a byte-identical task sequence.
+	Stream   bool
+	Parallel int
 	// ConstrainOutput caps growth by the output partition (see
 	// EngineOptions.ConstrainOutput); the default multiply-and-merge
 	// configuration leaves growth unconstrained and pays spill traffic.
@@ -121,10 +125,11 @@ func RunGram(w *GramWorkload, opt GramOptions) (sim.Result, error) {
 	if opt.Strategy == core.Static {
 		cfg.InitialSize = gramStaticShape(w, capA)
 	}
-	e, err := core.NewEnumerator(k, cfg)
+	src, err := newTaskSource(k, cfg, opt.Stream, opt.Parallel)
 	if err != nil {
 		return sim.Result{}, err
 	}
+	defer src.Close()
 
 	res := sim.Result{Name: w.Name}
 	pe := sim.NewPEArray(opt.Machine.PEs)
@@ -135,7 +140,7 @@ func RunGram(w *GramWorkload, opt GramOptions) (sim.Result, error) {
 	var inputTraffic int64
 
 	for {
-		t, ok, err := e.Next()
+		t, ok, err := src.Next()
 		if err != nil {
 			return sim.Result{}, err
 		}
@@ -182,7 +187,7 @@ func RunGram(w *GramWorkload, opt GramOptions) (sim.Result, error) {
 
 		out.touch([4]int{t.Ranges[GramDimI].Lo, t.Ranges[GramDimI].Hi, t.Ranges[GramDimL].Lo, t.Ranges[GramDimL].Hi}, tr.OutputNNZ)
 
-		extractTotal += extractor.TaskCost(opt.Extractor, &t).Total()
+		extractTotal += extractor.TaskCost(opt.Extractor, t).Total()
 		_ = taskCompute
 	}
 	out.flush()

@@ -48,6 +48,11 @@ func (v Variant) String() string {
 type Options struct {
 	Machine   sim.Machine
 	Partition sim.Partition
+	// Stream and Parallel configure pipelined/sharded task extraction for
+	// the tiled variants (see accel.EngineOptions); the untiled closed
+	// form has no task stream and ignores them.
+	Stream   bool
+	Parallel int
 	// Rec, when non-nil, receives the run's instrumentation (see
 	// accel.EngineOptions.Rec).
 	Rec obs.Recorder
@@ -74,6 +79,8 @@ func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 			Intersect: sim.SerialOptimal, // idealized on-chip behavior
 			Extractor: extractor.IdealExtractor,
 			Strategy:  core.Static,
+			Stream:    opt.Stream,
+			Parallel:  opt.Parallel,
 			Rec:       opt.Rec,
 		}
 		if v == DRT {

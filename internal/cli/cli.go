@@ -8,6 +8,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -61,6 +62,46 @@ func Usagef(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	Cleanup()
 	exit(ExitUsage)
+}
+
+// GroupUsage replaces the default flag.Usage with one that prints the
+// named flags under a separate trailing section (e.g. "Performance
+// knobs"), keeping knobs that only affect speed — never output — visually
+// apart from the flags that select what is computed.
+func GroupUsage(cmd, section string, names ...string) {
+	grouped := map[string]bool{}
+	for _, n := range names {
+		grouped[n] = true
+	}
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage of %s:\n", cmd)
+		flag.VisitAll(func(f *flag.Flag) {
+			if !grouped[f.Name] {
+				printFlag(out, f)
+			}
+		})
+		fmt.Fprintf(out, "\n%s (output is byte-identical at any setting):\n", section)
+		flag.VisitAll(func(f *flag.Flag) {
+			if grouped[f.Name] {
+				printFlag(out, f)
+			}
+		})
+	}
+}
+
+// printFlag renders one flag in the standard library's usage format.
+func printFlag(out io.Writer, f *flag.Flag) {
+	name, usage := flag.UnquoteUsage(f)
+	line := "  -" + f.Name
+	if name != "" {
+		line += " " + name
+	}
+	fmt.Fprintf(out, "%s\n    \t%s", line, usage)
+	if f.DefValue != "" && f.DefValue != "false" {
+		fmt.Fprintf(out, " (default %s)", f.DefValue)
+	}
+	fmt.Fprintln(out)
 }
 
 // Profiles holds the -cpuprofile/-memprofile flag values.

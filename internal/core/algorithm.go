@@ -31,6 +31,114 @@ type builder struct {
 	order []int
 	// scratch holds per-operand reusable range buffers for opRanges.
 	scratch map[*Operand][]Range
+
+	// boxes memoizes View box queries per operand (see query); hit/miss
+	// totals feed the extract.boxcache obs counters via ExtractStats.
+	boxes     []opBoxCache
+	boxHits   int64
+	boxMisses int64
+	// task is the pooled emit target: emit refills its slices in place, so
+	// the Task returned by build aliases this scratch and is only valid
+	// until the next build (retainers must Clone).
+	task Task
+}
+
+// boxMetric indexes the three View queries a box cache entry can hold.
+const (
+	metricFootprint = iota
+	metricNNZ
+	metricTiles
+	numMetrics
+)
+
+const (
+	// boxCacheDims bounds the operand rank the box cache handles;
+	// higher-rank operands bypass the cache.
+	boxCacheDims = 3
+	// boxCacheWays is the per-operand associativity. Between evictions the
+	// grow/retry loop revisits only a handful of distinct boxes — the
+	// current box, the pre-grow box, and the fallback retry ladder — so a
+	// tiny round-robin set captures nearly all reuse.
+	boxCacheWays = 4
+)
+
+// boxEntry caches View query results for one coordinate box of one
+// operand. Metrics fill lazily: a grow sequence probes a box's footprint
+// long before (at emit) it needs the same box's NNZ and tile count.
+// n is the cached box's rank (0 = unused slot).
+type boxEntry struct {
+	box [boxCacheDims]Range
+	n   int
+	has [numMetrics]bool
+	val [numMetrics]int64
+}
+
+// opBoxCache is one operand's round-robin box cache.
+type opBoxCache struct {
+	ways [boxCacheWays]boxEntry
+	next int
+}
+
+// query answers one View metric for operand oi over rs, memoized in the
+// per-operand box cache. Boxes are absolute grid coordinates and views
+// are immutable, so entries never invalidate — across builds, windows,
+// and Resets alike. Caching changes neither the probe/scan accounting
+// nor any query result, so cached and uncached runs emit byte-identical
+// task streams.
+func (b *builder) query(oi int, rs []Range, metric int) int64 {
+	op := &b.k.Operands[oi]
+	if len(rs) > boxCacheDims {
+		return rawQuery(op, rs, metric)
+	}
+	c := &b.boxes[oi]
+	n := len(rs)
+	// The key compare is hand-rolled (early-exit int compares against rs
+	// itself) rather than an array equality: this scan runs on every
+	// growth probe, so avoiding the upfront key copy and the runtime
+	// memequal call is a measurable share of extraction time.
+scan:
+	for w := range c.ways {
+		e := &c.ways[w]
+		if e.n != n {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if e.box[i] != rs[i] {
+				continue scan
+			}
+		}
+		if e.has[metric] {
+			b.boxHits++
+			return e.val[metric]
+		}
+		b.boxMisses++
+		v := rawQuery(op, rs, metric)
+		e.has[metric] = true
+		e.val[metric] = v
+		return v
+	}
+	b.boxMisses++
+	e := &c.ways[c.next]
+	c.next = (c.next + 1) % boxCacheWays
+	copy(e.box[:], rs)
+	e.n = n
+	e.has = [numMetrics]bool{}
+	v := rawQuery(op, rs, metric)
+	e.has[metric] = true
+	e.val[metric] = v
+	return v
+}
+
+// rawQuery dispatches an uncached View query.
+func rawQuery(op *Operand, rs []Range, metric int) int64 {
+	switch metric {
+	case metricFootprint:
+		return op.View.Footprint(rs)
+	case metricNNZ:
+		return op.View.NNZ(rs)
+	default:
+		return op.View.Tiles(rs)
+	}
 }
 
 // maxFallbackRetries bounds the fallback subdivision loop; each retry
@@ -97,10 +205,12 @@ func (b *builder) maxSize(d int) int {
 	return m
 }
 
-// tryToGrow attempts one growth step of dimension d for op (Alg. 2 line
-// 13). It returns false — and marks d constrained — when the step would
-// exceed the operand's partition or the dimension cannot grow further.
-func (b *builder) tryToGrow(op *Operand, d, step int) bool {
+// tryToGrow attempts one growth step of dimension d for operand oi
+// (Alg. 2 line 13). It returns false — and marks d constrained — when the
+// step would exceed the operand's partition or the dimension cannot grow
+// further.
+func (b *builder) tryToGrow(oi, d, step int) bool {
+	op := &b.k.Operands[oi]
 	limit := b.maxSize(d)
 	if b.sizes[d] >= limit {
 		b.constrained[d] = true
@@ -110,13 +220,13 @@ func (b *builder) tryToGrow(op *Operand, d, step int) bool {
 	if next > limit {
 		next = limit
 	}
-	before := op.View.Tiles(b.opRanges(op))
+	before := b.query(oi, b.opRanges(op), metricTiles)
 	old := b.sizes[d]
 	b.sizes[d] = next
 	rs := b.opRanges(op)
 	b.probes++
-	b.scans += op.View.Tiles(rs) - before // newly scanned micro-tile metadata
-	if op.View.Footprint(rs) > op.Capacity {
+	b.scans += b.query(oi, rs, metricTiles) - before // newly scanned micro-tile metadata
+	if b.query(oi, rs, metricFootprint) > op.Capacity {
 		b.sizes[d] = old // reverse the operation (buffer overflow)
 		b.constrained[d] = true
 		return false
@@ -133,17 +243,18 @@ func (b *builder) growable(d int) bool {
 // footprint fits op's partition — the same stopping point as exhaustive
 // n=1 growth (footprint is monotone in tile size) found by binary search.
 // The dimension is constrained afterwards, as a completed growth pass is.
-func (b *builder) growMax(op *Operand, d int) {
+func (b *builder) growMax(oi, d int) {
+	op := &b.k.Operands[oi]
 	limit := b.maxSize(d)
 	defer func() { b.constrained[d] = true }()
 	if b.sizes[d] >= limit {
 		return
 	}
-	startTiles := op.View.Tiles(b.opRanges(op))
+	startTiles := b.query(oi, b.opRanges(op), metricTiles)
 	fits := func(sz int) bool {
 		old := b.sizes[d]
 		b.sizes[d] = sz
-		fp := op.View.Footprint(b.opRanges(op))
+		fp := b.query(oi, b.opRanges(op), metricFootprint)
 		b.sizes[d] = old
 		b.probes++
 		return fp <= op.Capacity
@@ -168,12 +279,13 @@ func (b *builder) growMax(op *Operand, d int) {
 	}
 	// The Aggregate unit still scans every stored micro tile the final
 	// macro tile covers, regardless of how the shape search probed.
-	b.scans += op.View.Tiles(b.opRanges(op)) - startTiles
+	b.scans += b.query(oi, b.opRanges(op), metricTiles) - startTiles
 }
 
-// growDims is Algorithm 2: expand op's dimensions per the configured
-// strategy until all are constrained.
-func (b *builder) growDims(op *Operand) {
+// growDims is Algorithm 2: expand operand oi's dimensions per the
+// configured strategy until all are constrained.
+func (b *builder) growDims(oi int) {
+	op := &b.k.Operands[oi]
 	step := b.cfg.GrowStep
 	if step < 1 {
 		step = 1
@@ -194,7 +306,7 @@ func (b *builder) growDims(op *Operand) {
 					continue
 				}
 				if b.growable(d) {
-					b.growMax(op, d)
+					b.growMax(oi, d)
 				}
 			}
 		}
@@ -203,7 +315,7 @@ func (b *builder) growDims(op *Operand) {
 		for {
 			grew := false
 			for _, d := range op.Dims {
-				if b.growable(d) && b.tryToGrow(op, d, step) {
+				if b.growable(d) && b.tryToGrow(oi, d, step) {
 					grew = true
 				}
 			}
@@ -216,12 +328,13 @@ func (b *builder) growDims(op *Operand) {
 	}
 }
 
-// loadTile is Algorithm 1's loadNextTile: verify op's tile fits its
-// partition at the current sizes, shrinking growable dimensions and, if
-// that does not suffice, requesting a fallback subdivision of an
+// loadTile is Algorithm 1's loadNextTile: verify operand oi's tile fits
+// its partition at the current sizes, shrinking growable dimensions and,
+// if that does not suffice, requesting a fallback subdivision of an
 // already-constrained dimension (returned as retryDim >= 0).
-func (b *builder) loadTile(op *Operand) (retryDim int) {
-	if op.View.Footprint(b.opRanges(op)) <= op.Capacity {
+func (b *builder) loadTile(oi int) (retryDim int) {
+	op := &b.k.Operands[oi]
+	if b.query(oi, b.opRanges(op), metricFootprint) <= op.Capacity {
 		return -1
 	}
 	// Shrink this operand's still-growable dimensions to 1.
@@ -230,7 +343,7 @@ func (b *builder) loadTile(op *Operand) (retryDim int) {
 			b.sizes[d] = 1
 		}
 	}
-	if op.View.Footprint(b.opRanges(op)) <= op.Capacity {
+	if b.query(oi, b.opRanges(op), metricFootprint) <= op.Capacity {
 		return -1
 	}
 	// Fallback path (Alg. 1 line 13): subdivide the largest dimension of
@@ -282,6 +395,7 @@ func newBuilder(k *Kernel, cfg *Config) *builder {
 		cap:         make([]int, n),
 		order:       stationarityOrder(k, cfg.LoopOrder),
 		scratch:     make(map[*Operand][]Range, len(k.Operands)),
+		boxes:       make([]opBoxCache, len(k.Operands)),
 	}
 	return b
 }
@@ -326,15 +440,14 @@ func (b *builder) build(base, sizes []int, frozen []bool, rebuild []bool) (Task,
 			if !rebuild[oi] {
 				continue
 			}
-			op := &b.k.Operands[oi]
-			if rd := b.loadTile(op); rd >= 0 {
+			if rd := b.loadTile(oi); rd >= 0 {
 				retryDim = rd
 				break
 			}
-			b.growDims(op)
+			b.growDims(oi)
 			// Growing a dimension becomes a constraint on later tensors
 			// (co-tiling, Alg. 1 line 7 comment).
-			for _, d := range op.Dims {
+			for _, d := range b.k.Operands[oi].Dims {
 				b.constrained[d] = true
 			}
 		}
@@ -349,19 +462,23 @@ func (b *builder) build(base, sizes []int, frozen []bool, rebuild []bool) (Task,
 	return b.emit(), nil
 }
 
-// emit materializes the Task for the final sizes.
+// emit materializes the Task for the final sizes into the builder's
+// pooled scratch: steady-state extraction allocates nothing. The
+// returned Task's slices alias that scratch and stay valid only until
+// the next build on this builder.
 func (b *builder) emit() Task {
 	n := b.k.NDims()
-	t := Task{
-		Ranges:      make([]Range, n),
-		OpFootprint: make([]int64, len(b.k.Operands)),
-		OpNNZ:       make([]int64, len(b.k.Operands)),
-		OpTiles:     make([]int64, len(b.k.Operands)),
-		Rebuilt:     append([]bool(nil), b.rebuilt...),
-		Overflow:    b.overflw,
-		Probes:      b.probes,
-		ScanTiles:   b.scans,
-	}
+	nops := len(b.k.Operands)
+	t := &b.task
+	t.Ranges = growRanges(t.Ranges, n)
+	t.OpFootprint = growI64(t.OpFootprint, nops)
+	t.OpNNZ = growI64(t.OpNNZ, nops)
+	t.OpTiles = growI64(t.OpTiles, nops)
+	t.Rebuilt = append(t.Rebuilt[:0], b.rebuilt...)
+	t.Empty = false
+	t.Overflow = b.overflw
+	t.Probes = b.probes
+	t.ScanTiles = b.scans
 	for d := 0; d < n; d++ {
 		hi := b.base[d] + b.sizes[d]
 		if hi > b.window[d].Hi {
@@ -371,16 +488,32 @@ func (b *builder) emit() Task {
 	}
 	for oi := range b.k.Operands {
 		op := &b.k.Operands[oi]
-		rs := make([]Range, len(op.Dims))
-		for i, d := range op.Dims {
-			rs[i] = t.Ranges[d]
-		}
-		t.OpFootprint[oi] = op.View.Footprint(rs)
-		t.OpNNZ[oi] = op.View.NNZ(rs)
-		t.OpTiles[oi] = op.View.Tiles(rs)
+		// opRanges' clamp matches t.Ranges exactly, so the per-operand
+		// scratch doubles as the emit query box.
+		rs := b.opRanges(op)
+		t.OpFootprint[oi] = b.query(oi, rs, metricFootprint)
+		t.OpNNZ[oi] = b.query(oi, rs, metricNNZ)
+		t.OpTiles[oi] = b.query(oi, rs, metricTiles)
 		if t.OpNNZ[oi] == 0 && !op.Output {
 			t.Empty = true
 		}
 	}
-	return t
+	return *t
+}
+
+// growRanges returns s resized to n entries, reallocating only on
+// capacity growth.
+func growRanges(s []Range, n int) []Range {
+	if cap(s) < n {
+		return make([]Range, n)
+	}
+	return s[:n]
+}
+
+// growI64 is growRanges for int64 slices.
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
 }

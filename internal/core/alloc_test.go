@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"drt/internal/gen"
+)
+
+// TestNextAllocFree pins the tentpole's scratch-pool guarantee: once the
+// enumerator's pooled emit buffers and per-operand scratch are warm,
+// steady-state extraction allocates nothing — Next fills the same Task in
+// place and every grow probe runs through reused range buffers and the
+// box cache.
+func TestNextAllocFree(t *testing.T) {
+	a := gen.RMAT(96, 1100, 0.57, 0.19, 0.19, 21)
+	b := gen.RMAT(96, 1100, 0.57, 0.19, 0.19, 22)
+	k := spmspmKernel(a, b, 2, 1500, 1500)
+	cfg := &Config{LoopOrder: []int{1, 2, 0}, Strategy: GreedyContractedFirst}
+	e, err := NewEnumerator(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]Range, k.NDims())
+	for d := range full {
+		full[d] = Range{0, k.Extent[d]}
+	}
+	drain := func() {
+		if err := e.Reset(full); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, ok, err := e.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return
+			}
+		}
+	}
+	drain() // warm the pooled scratch
+	if allocs := testing.AllocsPerRun(5, drain); allocs > 0 {
+		t.Fatalf("steady-state Next allocated %.1f objects per traversal, want 0", allocs)
+	}
+}
+
+// TestHierarchicalResetAllocFree pins the same property for the
+// hierarchical pattern accel.runPELevel uses: re-windowing one enumerator
+// across many outer boxes must not allocate once warm.
+func TestHierarchicalResetAllocFree(t *testing.T) {
+	a := gen.RMAT(96, 1100, 0.57, 0.19, 0.19, 23)
+	b := gen.RMAT(96, 1100, 0.57, 0.19, 0.19, 24)
+	k := spmspmKernel(a, b, 2, 4000, 4000)
+	outer, err := NewEnumerator(k, &Config{LoopOrder: []int{1, 2, 0}, Strategy: GreedyContractedFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outerTasks, err := outer.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := NewEnumerator(k, &Config{LoopOrder: []int{2, 0, 1}, Strategy: GreedyContractedFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := func() {
+		for i := range outerTasks {
+			if err := inner.Reset(outerTasks[i].Ranges); err != nil {
+				t.Fatal(err)
+			}
+			for {
+				_, ok, err := inner.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+	}
+	sweep()
+	if allocs := testing.AllocsPerRun(5, sweep); allocs > 0 {
+		t.Fatalf("hierarchical re-windowing allocated %.1f objects per sweep, want 0", allocs)
+	}
+}

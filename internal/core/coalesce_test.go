@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"drt/internal/tensor"
+)
+
+// coo builds a CSR from coordinate triples on an r×c grid.
+func coo(r, c int, pts ...[2]int) *tensor.CSR {
+	m := tensor.NewCOO(r, c)
+	for _, p := range pts {
+		m.Append(p[0], p[1], 1)
+	}
+	return tensor.FromCOO(m)
+}
+
+// TestCoalesceAllEmptyOperands: with every operand empty, growth is free
+// (zero footprint) and the innermost-dimension swallow rule must cover
+// the whole space in a handful of empty tasks, not one per grid cell.
+func TestCoalesceAllEmptyOperands(t *testing.T) {
+	a := coo(4, 4)
+	b := coo(4, 4)
+	k := spmspmKernel(a, b, 1, 500, 500)
+	e, err := NewEnumerator(k, &Config{LoopOrder: []int{1, 2, 0}, Strategy: GreedyContractedFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := e.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, task := range tasks {
+		if !task.Empty {
+			t.Fatalf("task %+v over all-empty operands not flagged empty", task.Ranges)
+		}
+		total += task.Ranges[0].Len() * task.Ranges[1].Len() * task.Ranges[2].Len()
+	}
+	if total != 4*4*4 {
+		t.Fatalf("empty tasks cover %d of %d cells", total, 4*4*4)
+	}
+	if len(tasks) > 2 {
+		t.Fatalf("all-empty space produced %d tasks, want coalesced coverage", len(tasks))
+	}
+}
+
+// TestCoalesceSingleCellExtents: a 1×1 iteration space exercises the
+// degenerate gallop (hiEnd == base + 1) in both the empty and the
+// occupied case.
+func TestCoalesceSingleCellExtents(t *testing.T) {
+	for _, withNNZ := range []bool{false, true} {
+		var a *tensor.CSR
+		if withNNZ {
+			a = coo(1, 1, [2]int{0, 0})
+		} else {
+			a = coo(1, 1)
+		}
+		b := coo(1, 1, [2]int{0, 0})
+		k := spmspmKernel(a, b, 1, 500, 500)
+		e, err := NewEnumerator(k, &Config{LoopOrder: []int{1, 2, 0}, Strategy: GreedyContractedFirst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks, err := e.Tasks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tasks) != 1 {
+			t.Fatalf("withNNZ=%v: got %d tasks, want 1", withNNZ, len(tasks))
+		}
+		task := tasks[0]
+		for d, r := range task.Ranges {
+			if r != (Range{0, 1}) {
+				t.Fatalf("withNNZ=%v: dim %d range %+v, want [0,1)", withNNZ, d, r)
+			}
+		}
+		if task.Empty == withNNZ {
+			t.Fatalf("withNNZ=%v: Empty=%v", withNNZ, task.Empty)
+		}
+	}
+}
+
+// TestCoalesceRunEndsAtExtentBoundary traces empty-run galloping along
+// the innermost dimension with unit static tiles: an interior run must
+// stop exactly at the next stored coordinate, and a trailing run must
+// swallow up to — exactly — the extent boundary.
+func TestCoalesceRunEndsAtExtentBoundary(t *testing.T) {
+	// A is 1×8 with stored columns {0, 5}; B is 8×1 dense down the K
+	// column, so task emptiness is decided by A's K occupancy alone.
+	a := coo(1, 8, [2]int{0, 0}, [2]int{0, 5})
+	bpts := make([][2]int, 8)
+	for i := range bpts {
+		bpts[i] = [2]int{i, 0}
+	}
+	b := coo(8, 1, bpts...)
+	k := spmspmKernel(a, b, 1, 1<<20, 1<<20)
+	// J → I → K, K innermost; static unit tiles make every K step 1.
+	e, err := NewEnumerator(k, &Config{LoopOrder: []int{1, 0, 2}, Strategy: Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := e.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct {
+		r     Range
+		empty bool
+	}
+	var got []span
+	for _, task := range tasks {
+		got = append(got, span{task.Ranges[2], task.Empty})
+	}
+	want := []span{
+		{Range{0, 1}, false}, // stored k=0
+		{Range{1, 5}, true},  // interior run stops exactly at k=5
+		{Range{5, 6}, false}, // stored k=5
+		{Range{6, 8}, true},  // trailing run ends exactly at the extent
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tasks %+v, want %+v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("task %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

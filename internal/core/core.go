@@ -184,3 +184,28 @@ type Task struct {
 
 // Range returns the task's range for kernel dimension d.
 func (t *Task) Range(d int) Range { return t.Ranges[d] }
+
+// Clone returns a deep copy of the task. Tasks returned by
+// Enumerator.Next share the enumerator's pooled scratch and are only
+// valid until the next call; callers that retain a task across calls
+// must Clone it first.
+func (t *Task) Clone() Task {
+	var c Task
+	t.cloneInto(&c)
+	return c
+}
+
+// cloneInto deep-copies t into dst, reusing dst's slice capacity. The
+// streaming extractor recycles tasks through this to stay allocation-free
+// in steady state.
+func (t *Task) cloneInto(dst *Task) {
+	dst.Ranges = append(dst.Ranges[:0], t.Ranges...)
+	dst.OpFootprint = append(dst.OpFootprint[:0], t.OpFootprint...)
+	dst.OpNNZ = append(dst.OpNNZ[:0], t.OpNNZ...)
+	dst.OpTiles = append(dst.OpTiles[:0], t.OpTiles...)
+	dst.Rebuilt = append(dst.Rebuilt[:0], t.Rebuilt...)
+	dst.Empty = t.Empty
+	dst.Overflow = t.Overflow
+	dst.Probes = t.Probes
+	dst.ScanTiles = t.ScanTiles
+}

@@ -23,6 +23,11 @@ type Enumerator struct {
 	b       *builder
 	frozen  []bool
 	rebuild []bool
+
+	// statsTaken tracks cache counters already folded into a stream's
+	// aggregate totals (shardStream.addStats), so per-span flushes never
+	// double-count.
+	statsTaken ExtractStats
 }
 
 // NewEnumerator validates the kernel/config pair and prepares a traversal.
@@ -47,9 +52,15 @@ func NewEnumerator(k *Kernel, cfg *Config) (*Enumerator, error) {
 		base:  make([]int, n),
 		sizes: make([]int, n),
 	}
-	e.window = cfg.Window
-	if e.window == nil {
-		e.window = make([]Range, n)
+	// The window is copied into enumerator-owned storage so Reset can
+	// retarget it in place (the builder aliases the same slice).
+	e.window = make([]Range, n)
+	if cfg.Window != nil {
+		if len(cfg.Window) != n {
+			return nil, fmt.Errorf("core: window has %d ranges, kernel has %d dims", len(cfg.Window), n)
+		}
+		copy(e.window, cfg.Window)
+	} else {
 		for d := range e.window {
 			e.window[d] = Range{0, k.Extent[d]}
 		}
@@ -81,8 +92,34 @@ func NewEnumerator(k *Kernel, cfg *Config) (*Enumerator, error) {
 	return e, nil
 }
 
+// Reset rewinds the enumerator to the start of a new window, reusing
+// every piece of traversal and builder scratch (including the box-query
+// cache, whose absolute-coordinate entries stay valid across windows).
+// The kernel and config are unchanged; w must have one range per kernel
+// dimension. Hierarchical DRT re-tiles thousands of outer tasks through
+// one enumerator this way instead of allocating one per task.
+func (e *Enumerator) Reset(w []Range) error {
+	if len(w) != len(e.window) {
+		return fmt.Errorf("core: reset window has %d ranges, kernel has %d dims", len(w), len(e.window))
+	}
+	copy(e.window, w)
+	e.started, e.done = false, false
+	for d := range e.base {
+		e.base[d] = e.window[d].Lo
+		e.sizes[d] = 0
+		if e.window[d].Len() <= 0 {
+			e.done = true
+		}
+	}
+	return nil
+}
+
 // Next returns the next Einsum task, or ok=false when the space is
 // exhausted.
+//
+// The returned Task's slices alias pooled scratch owned by the
+// enumerator: they are valid until the next Next or Reset call. Callers
+// that retain a task across calls must Clone it.
 func (e *Enumerator) Next() (Task, bool, error) {
 	if e.done {
 		return Task{}, false, nil
@@ -257,7 +294,8 @@ func (e *Enumerator) emptyRunEnd(op *Operand, ranges []Range, d, from, hiEnd int
 }
 
 // Tasks drains the enumerator into a slice; convenient for tests and for
-// the traffic-only accelerator models.
+// the traffic-only accelerator models. Each task is cloned out of the
+// pooled Next scratch, so the slice owns its memory.
 func (e *Enumerator) Tasks() ([]Task, error) {
 	var out []Task
 	for {
@@ -268,6 +306,14 @@ func (e *Enumerator) Tasks() ([]Task, error) {
 		if !ok {
 			return out, nil
 		}
-		out = append(out, t)
+		out = append(out, t.Clone())
 	}
+}
+
+// Kernel returns the kernel this enumerator traverses.
+func (e *Enumerator) Kernel() *Kernel { return e.k }
+
+// CacheStats returns the builder's box-query cache totals so far.
+func (e *Enumerator) CacheStats() ExtractStats {
+	return ExtractStats{BoxHits: e.b.boxHits, BoxMisses: e.b.boxMisses}
 }

@@ -50,6 +50,8 @@ func TestGrowMaxStopsAtExactCapacity(t *testing.T) {
 	if task.Ranges[1].Len() != 37 {
 		t.Fatalf("grown K size = %d, want 37 (375/10)", task.Ranges[1].Len())
 	}
+	// Next's pooled scratch is reused by the drain below; clone to retain.
+	task = task.Clone()
 	// Coverage: 100/37 → ceil = 3 tasks.
 	tasks, err := e.Tasks()
 	if err != nil {

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"drt/internal/gen"
+	"drt/internal/tensor"
+)
+
+// drainSource collects a TaskSource into an owned slice.
+func drainSource(t *testing.T, src TaskSource) []Task {
+	t.Helper()
+	defer src.Close()
+	var out []Task
+	for {
+		task, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, task.Clone())
+	}
+}
+
+// streamCases enumerates kernel/config pairs that stress every extraction
+// regime: skewed and banded sparsity, hyper-sparse coalescing runs, an
+// all-empty operand, fallback-heavy tiny capacities, static tiles, and
+// alternating growth with a non-unit step.
+func streamCases(t *testing.T) []struct {
+	name string
+	k    *Kernel
+	cfg  *Config
+} {
+	t.Helper()
+	rmA := gen.RMAT(96, 1100, 0.57, 0.19, 0.19, 11)
+	rmB := gen.RMAT(96, 1100, 0.57, 0.19, 0.19, 12)
+	bandA := gen.Banded(80, 4, 2, 0.6, 13)
+	bandB := gen.Banded(80, 4, 2, 0.6, 14)
+	hypA := gen.HyperSparse(256, 80, 15)
+	hypB := gen.HyperSparse(256, 80, 16)
+	emptyA := tensor.FromCOO(tensor.NewCOO(32, 32))
+	uniB := gen.Uniform(32, 32, 120, 17)
+	return []struct {
+		name string
+		k    *Kernel
+		cfg  *Config
+	}{
+		{"rmat-jki-greedy", spmspmKernel(rmA, rmB, 2, 1500, 1500),
+			&Config{LoopOrder: []int{1, 2, 0}, Strategy: GreedyContractedFirst}},
+		{"rmat-ijk-alternating", spmspmKernel(rmA, rmB, 2, 1500, 1500),
+			&Config{LoopOrder: []int{0, 1, 2}, Strategy: Alternating, GrowStep: 3}},
+		{"rmat-kji-static", spmspmKernel(rmA, rmB, 2, 1500, 1500),
+			&Config{LoopOrder: []int{2, 1, 0}, Strategy: Static, InitialSize: []int{3, 3, 3}}},
+		{"banded-fallback", spmspmKernel(bandA, bandB, 1, 70, 70),
+			&Config{LoopOrder: []int{1, 2, 0}, Strategy: GreedyContractedFirst}},
+		{"hypersparse-coalesce", spmspmKernel(hypA, hypB, 2, 900, 900),
+			&Config{LoopOrder: []int{1, 2, 0}, Strategy: GreedyContractedFirst}},
+		{"empty-operand", spmspmKernel(emptyA, uniB, 2, 400, 400),
+			&Config{LoopOrder: []int{1, 2, 0}, Strategy: GreedyContractedFirst}},
+	}
+}
+
+// TestStreamMatchesSequential pins the tentpole's determinism guarantee:
+// the streamed task sequence — including probe/scan counts, which feed
+// the extractor cycle model — is identical to the sequential walk at
+// every worker count, for every extraction regime.
+func TestStreamMatchesSequential(t *testing.T) {
+	for _, tc := range streamCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := NewEnumerator(tc.k, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := e.Tasks()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				src, err := StreamTasks(tc.k, tc.cfg, StreamOptions{Workers: workers, Depth: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := drainSource(t, src)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d: %d tasks, want %d", workers, len(got), len(want))
+				}
+				for i := range got {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Fatalf("workers=%d: task %d diverged\ngot  %+v\nwant %+v", workers, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamSourceAgainstInline checks the inline adapter delivers the
+// same sequence as the raw enumerator (trivially true, but pins the
+// TaskSource contract both engines rely on).
+func TestStreamSourceAgainstInline(t *testing.T) {
+	tc := streamCases(t)[0]
+	e1, err := NewEnumerator(tc.k, tc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e1.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEnumerator(tc.k, tc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainSource(t, e2.Source())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("inline Source diverged from Tasks")
+	}
+}
+
+// TestStreamEarlyClose abandons streams mid-flight at several points and
+// at several worker counts; producers must unblock and exit rather than
+// leak on their bounded channels (the race detector and goroutine
+// scheduler surface violations).
+func TestStreamEarlyClose(t *testing.T) {
+	tc := streamCases(t)[0]
+	for _, workers := range []int{1, 4} {
+		for _, after := range []int{0, 1, 7} {
+			src, err := StreamTasks(tc.k, tc.cfg, StreamOptions{Workers: workers, Depth: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < after; i++ {
+				if _, ok, err := src.Next(); err != nil || !ok {
+					break
+				}
+			}
+			src.Close()
+		}
+	}
+}
+
+// TestResetReplaysIdentically pins Enumerator.Reset: a reset enumerator
+// must reproduce its first traversal exactly, and a window reset must
+// match a freshly constructed windowed enumerator (the hierarchical
+// PE-level reuses one enumerator across thousands of outer windows this
+// way).
+func TestResetReplaysIdentically(t *testing.T) {
+	tc := streamCases(t)[0]
+	e, err := NewEnumerator(tc.k, tc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := e.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]Range, tc.k.NDims())
+	for d := range full {
+		full[d] = Range{0, tc.k.Extent[d]}
+	}
+	if err := e.Reset(full); err != nil {
+		t.Fatal(err)
+	}
+	again, err := e.Tasks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("reset traversal diverged from the first")
+	}
+	// Window reset ≡ fresh windowed enumerator, for each outer task's box.
+	for i, outer := range first {
+		if i >= 5 {
+			break
+		}
+		if err := e.Reset(outer.Ranges); err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Tasks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wcfg := *tc.cfg
+		wcfg.Window = outer.Ranges
+		fresh, err := NewEnumerator(tc.k, &wcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Tasks()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The reused enumerator's warm box cache must not change results,
+		// only probe-count bookkeeping is shared — and that, too, is task
+		// state, so it must agree exactly.
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window %d: reset traversal diverged from fresh enumerator", i)
+		}
+	}
+}
+
+// TestBoxCacheCounts sanity-checks the cache accounting: a traversal
+// performs lookups, hits plus misses equals lookups, and a second
+// identical traversal through the same builder hits more.
+func TestBoxCacheCounts(t *testing.T) {
+	tc := streamCases(t)[0]
+	e, err := NewEnumerator(tc.k, tc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Tasks(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.CacheStats()
+	if st.BoxMisses == 0 {
+		t.Fatal("traversal recorded no cache lookups")
+	}
+	if st.BoxHits == 0 {
+		t.Fatal("grow/emit sequence should re-touch boxes; no hits recorded")
+	}
+	full := make([]Range, tc.k.NDims())
+	for d := range full {
+		full[d] = Range{0, tc.k.Extent[d]}
+	}
+	if err := e.Reset(full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Tasks(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := e.CacheStats()
+	if st2.BoxHits <= st.BoxHits {
+		t.Fatalf("warm replay hits %d not above cold %d", st2.BoxHits, st.BoxHits)
+	}
+}

@@ -46,6 +46,11 @@ type Options struct {
 	// representations answer queries identically, so tables do not depend
 	// on it.
 	Grid tiling.Mode
+	// Stream pipelines DRT task extraction alongside simulation in every
+	// engine run (see accel.EngineOptions.Stream), sharding extraction
+	// across Parallel workers where the dataflow allows. Task sequences are
+	// byte-identical either way, so every table is unchanged by this knob.
+	Stream bool
 	// Rec, when non-nil, receives run metadata (each prepared workload's
 	// generator spec) and wall-clock phase spans for workload preparation,
 	// so the benchmark harness's metrics dump records how to rebuild every

@@ -21,8 +21,8 @@ func TestParallelDeterminism(t *testing.T) {
 	for _, id := range []string{"fig6", "fig16", "abl-part"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			render := func(parallel int, grid tiling.Mode) string {
-				c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Parallel: parallel, Grid: grid})
+			render := func(parallel int, grid tiling.Mode, stream bool) string {
+				c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Parallel: parallel, Grid: grid, Stream: stream})
 				f, ok := c.Runner(id)
 				if !ok {
 					t.Fatalf("no runner for %s", id)
@@ -33,12 +33,15 @@ func TestParallelDeterminism(t *testing.T) {
 				}
 				return table.String()
 			}
-			seq := render(1, tiling.Dense)
-			if par8 := render(8, tiling.Dense); seq != par8 {
+			seq := render(1, tiling.Dense, false)
+			if par8 := render(8, tiling.Dense, false); seq != par8 {
 				t.Errorf("-parallel 8 output diverged from sequential:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s", seq, par8)
 			}
-			if comp := render(8, tiling.Compressed); seq != comp {
+			if comp := render(8, tiling.Compressed, false); seq != comp {
 				t.Errorf("-grid compressed output diverged from dense:\n--- dense ---\n%s\n--- compressed ---\n%s", seq, comp)
+			}
+			if str := render(8, tiling.Dense, true); seq != str {
+				t.Errorf("-stream output diverged from inline extraction:\n--- inline ---\n%s\n--- stream ---\n%s", seq, str)
 			}
 		})
 	}

@@ -20,6 +20,7 @@ func (c *Context) extensorOptions() extensor.Options {
 	opt := extensor.DefaultOptions()
 	opt.Machine = c.Machine()
 	opt.Parallel = c.Opt.Parallel
+	opt.Stream = c.Opt.Stream
 	return opt
 }
 

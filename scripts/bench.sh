@@ -3,26 +3,51 @@
 # JSON snapshot for longitudinal comparison.
 #
 # Usage:
-#   scripts/bench.sh                 # all benchmarks, one iteration each
+#   scripts/bench.sh                    # all benchmarks, one iteration each
 #   scripts/bench.sh GridConstruction   # filter by benchmark name regex
-#   BENCHTIME=2s scripts/bench.sh    # real measurement runs
+#   BENCHTIME=2s scripts/bench.sh       # real measurement runs
+#   scripts/bench.sh compare            # run fresh, diff vs newest committed
+#                                       # BENCH_*.json, write nothing
+#   scripts/bench.sh compare Sec65      # compare just the matching benchmarks
+#   scripts/bench.sh guard Sec65Extraction 2.0
+#                                       # exit 1 if any matching benchmark's
+#                                       # allocs/op exceeds 2.0x its committed
+#                                       # baseline (the ci tripwire)
 #
-# Writes BENCH_<YYYY-MM-DD>.json at the repo root: run metadata plus one
-# entry per benchmark (ns/op, bytes/op, allocs/op). Commit a snapshot when
-# a PR intentionally moves performance, so regressions have a baseline to
-# diff against. The ci bench-smoke job only checks the benchmarks still
-# run; this script is where numbers come from.
+# The default mode writes BENCH_<YYYY-MM-DD>.json at the repo root (never
+# clobbering an existing snapshot — same-day reruns get an _2, _3, …
+# suffix): run metadata plus one entry per benchmark (ns/op, bytes/op,
+# allocs/op). Commit a snapshot when a PR intentionally moves performance,
+# so regressions have a baseline to diff against. `compare` prints per-
+# benchmark deltas against the newest snapshot committed to git; `guard`
+# is the non-interactive version ci runs on the allocation-sensitive
+# extraction benchmark.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+mode=run
+case "${1:-}" in
+  compare) mode=compare; shift ;;
+  guard) mode=guard; shift ;;
+esac
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1x}"
-out="BENCH_$(date +%F).json"
+threshold="${2:-2.0}" # guard mode: allowed allocs/op growth factor
+
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+fresh="$(mktemp)"
+trap 'rm -f "$raw" "$fresh"' EXIT
+
+# newest_baseline prints the path of the newest BENCH_*.json committed to
+# git (dated names sort chronologically; _N suffixes sort after the base).
+newest_baseline() {
+  git ls-files 'BENCH_*.json' | LC_ALL=C sort | tail -1
+}
 
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... | tee "$raw"
 
+# The -N GOMAXPROCS suffix is stripped from names so snapshots taken on
+# machines with different core counts stay comparable.
 {
   printf '{\n  "date": "%s",\n  "go": "%s",\n  "benchtime": "%s",\n' \
     "$(date -u +%FT%TZ)" "$(go env GOVERSION)" "$benchtime"
@@ -30,6 +55,7 @@ go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... | te
     "$(go env GOOS)" "$(go env GOARCH)"
   awk '
     /^Benchmark/ && NF >= 4 {
+      sub(/-[0-9]+$/, "", $1)
       if (n++) printf ",\n"
       printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", $1, $2, $3
       if (NF >= 8) printf ",\"bytes_per_op\":%s,\"allocs_per_op\":%s", $5, $7
@@ -38,6 +64,83 @@ go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... | te
     END { print "" }
   ' "$raw"
   printf '  ]\n}\n'
-} > "$out"
+} > "$fresh"
 
-echo "wrote $out"
+# parse_snapshot emits "name ns bytes allocs" per benchmark from a JSON
+# snapshot this script wrote (one benchmark object per line).
+parse_snapshot() {
+  awk '
+    function num(s, k,    r) {
+      if (match(s, "\"" k "\":[0-9.eE+-]+")) {
+        r = substr(s, RSTART, RLENGTH); sub(/.*:/, "", r); return r
+      }
+      return "-"
+    }
+    /"name":/ {
+      if (match($0, /"name":"[^"]*"/)) {
+        n = substr($0, RSTART + 8, RLENGTH - 9)
+        sub(/-[0-9]+$/, "", n)
+        print n, num($0, "ns_per_op"), num($0, "bytes_per_op"), num($0, "allocs_per_op")
+      }
+    }
+  ' "$1"
+}
+
+case "$mode" in
+run)
+  out="BENCH_$(date +%F).json"
+  n=2
+  while [ -e "$out" ]; do
+    out="BENCH_$(date +%F)_$((n)).json"
+    n=$((n + 1))
+  done
+  cp "$fresh" "$out"
+  echo "wrote $out"
+  ;;
+compare | guard)
+  base="$(newest_baseline)"
+  if [ -z "$base" ]; then
+    echo "bench.sh: no committed BENCH_*.json baseline to compare against" >&2
+    exit 1
+  fi
+  echo
+  echo "baseline: $base"
+  parse_snapshot "$base" > "$raw"
+  parse_snapshot "$fresh" | awk -v basefile="$raw" -v mode="$mode" -v thr="$threshold" -v pat="$pattern" '
+    function pct(old, new) {
+      if (old + 0 == 0) return "    n/a"
+      return sprintf("%+6.1f%%", (new - old) * 100.0 / old)
+    }
+    BEGIN {
+      while ((getline line < basefile) > 0) {
+        split(line, f, " ")
+        ns[f[1]] = f[2]; bytes[f[1]] = f[3]; allocs[f[1]] = f[4]
+        fmt = "%-45s %14s %8s %14s %8s %12s %8s\n"
+      }
+      close(basefile)
+      printf fmt, "benchmark", "ns/op", "Δ", "B/op", "Δ", "allocs/op", "Δ"
+      bad = 0
+    }
+    {
+      name = $1
+      if (!(name in ns)) { printf fmt, name, $2, "(new)", $3, "", $4, ""; next }
+      printf fmt, name, $2, pct(ns[name], $2), $3, pct(bytes[name], $3), $4, pct(allocs[name], $4)
+      if (mode == "guard" && allocs[name] != "-" && $4 != "-" && allocs[name] + 0 > 0 &&
+          $4 + 0 > allocs[name] * thr) {
+        printf "bench.sh: %s allocs/op %s exceeds %.2gx committed baseline %s\n", \
+          name, $4, thr, allocs[name] > "/dev/stderr"
+        bad = 1
+      }
+      seen[name] = 1
+    }
+    END {
+      # With a filter pattern most baseline entries were intentionally not
+      # run; only flag gaps on a full compare.
+      if (mode == "compare" && pat == ".")
+        for (name in ns) if (!(name in seen))
+          printf "%-45s (in baseline, not run)\n", name
+      exit bad
+    }
+  '
+  ;;
+esac
