@@ -12,7 +12,10 @@ import (
 	"sync"
 	"testing"
 
+	"drt/internal/accel/extensor"
 	"drt/internal/exp"
+	"drt/internal/sim"
+	"drt/internal/workloads"
 )
 
 // benchContext is shared across benchmarks so the exact reference
@@ -64,6 +67,42 @@ func BenchmarkFig17MicroTile(b *testing.B)   { benchExperiment(b, "fig17") }
 func BenchmarkSec65Extraction(b *testing.B)  { benchExperiment(b, "sec65") }
 func BenchmarkTab02Taxonomy(b *testing.B)    { benchExperiment(b, "tab2") }
 func BenchmarkTab03Catalog(b *testing.B)     { benchExperiment(b, "tab3") }
+
+// BenchmarkFig12Replay isolates the replay hot path the Fig. 12 sweep now
+// runs on: one recorded schedule priced across the figure's 12
+// (bandwidth, intersection unit) points. Recording happens outside the
+// timer — the loop body is what each sweep cell costs after the first.
+func BenchmarkFig12Replay(b *testing.B) {
+	c := ctx()
+	e := workloads.Fig6Set()[0]
+	w, err := c.Square(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := extensor.DefaultOptions()
+	opt.Machine = c.Machine()
+	tr, err := extensor.Record(extensor.OPDRT, w, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kinds := []sim.IntersectKind{sim.SkipBased, sim.Parallel, sim.SerialOptimal}
+	mults := []float64{1, 2, 4, 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, mult := range mults {
+			for _, kind := range kinds {
+				ro := opt
+				ro.Machine.DRAMBandwidth *= mult
+				ro.Intersect = kind
+				r := extensor.Retime(extensor.OPDRT, tr, ro)
+				if r.Cycles() <= 0 {
+					b.Fatal("retime produced a non-positive runtime")
+				}
+			}
+		}
+	}
+}
 
 func BenchmarkAblTCCFormat(b *testing.B)     { benchExperiment(b, "abl-tcc") }
 func BenchmarkAblAutoMicroTile(b *testing.B) { benchExperiment(b, "abl-auto") }

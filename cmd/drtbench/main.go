@@ -13,15 +13,18 @@
 //	drtbench -list                  # list experiment ids
 //	drtbench -exp fig6 -metrics-out fig6.json
 //
-// Performance knobs (-parallel, -grid, -stream) change only how fast the
-// evaluation runs, never what it prints — every table is byte-identical at
-// any setting. -parallel bounds the worker goroutines used for independent
-// (workload × configuration) cells inside each experiment (results are
-// reassembled in input order, so -parallel 1 reproduces the sequential run
-// exactly); -grid selects the micro-tile grid representation; -stream
-// pipelines DRT task extraction alongside simulation, sharding the
-// extraction across -parallel workers (see DESIGN.md "Extraction
-// pipeline").
+// Performance knobs (-parallel, -grid, -stream, -trace-cache) change only
+// how fast the evaluation runs, never what it prints — every table is
+// byte-identical at any setting. -parallel bounds the worker goroutines
+// used for independent (workload × configuration) cells inside each
+// experiment (results are reassembled in input order, so -parallel 1
+// reproduces the sequential run exactly); -grid selects the micro-tile
+// grid representation; -stream pipelines DRT task extraction alongside
+// simulation, sharding the extraction across -parallel workers (see
+// DESIGN.md "Extraction pipeline"); -trace-cache (on by default) records
+// each (workload, tiling config) schedule once and retimes it for every
+// sweep point that only changes machine speed or pricing knobs (see
+// DESIGN.md "Trace record/replay").
 //
 // -metrics-out writes every experiment's table as structured JSON together
 // with the run metadata (scale, workload generator specs, VCS revision),
@@ -68,12 +71,13 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per experiment (1 = sequential)")
 		gridMode   = flag.String("grid", "auto", "micro-tile grid representation: auto | dense | compressed")
 		stream     = flag.Bool("stream", false, "pipeline DRT task extraction alongside simulation, sharded across -parallel workers")
+		traceCache = flag.Bool("trace-cache", true, "record each (workload, tiling config) schedule once and retime it per sweep point (bit-identical tables)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		metricsOut = flag.String("metrics-out", "", "write all tables and run metadata as JSON to this file")
 	)
 	prof := cli.AddProfileFlags()
-	cli.GroupUsage("drtbench", "Performance knobs", "parallel", "grid", "stream")
+	cli.GroupUsage("drtbench", "Performance knobs", "parallel", "grid", "stream", "trace-cache")
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtbench")
@@ -92,6 +96,7 @@ func main() {
 		rec.SetMeta("microtile", fmt.Sprint(*microTile))
 		rec.SetMeta("grid", *gridMode)
 		rec.SetMeta("stream", fmt.Sprint(*stream))
+		rec.SetMeta("trace-cache", fmt.Sprint(*traceCache))
 		for k, v := range obs.BuildMeta() {
 			rec.SetMeta(k, v)
 		}
@@ -101,7 +106,7 @@ func main() {
 	if err != nil {
 		cli.Usagef("drtbench: %v", err)
 	}
-	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream}
+	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream, NoTraceCache: !*traceCache}
 	if rec != nil {
 		opts.Rec = rec
 	}

@@ -15,12 +15,16 @@
 // Perfetto; -metrics-out writes the JSON report to a file regardless of
 // the stdout format. Exit codes: 2 for usage errors, 1 for runtime errors.
 //
-// Performance knobs (-parallel, -grid, -stream) change only how fast the
-// simulation runs, never its result: -parallel bounds worker goroutines
-// (static-shape sweep, reference kernel, sharded extraction), -grid picks
-// the micro-tile grid representation, and -stream pipelines DRT task
-// extraction alongside simulation (see DESIGN.md "Extraction pipeline").
-// The report is byte-identical at any setting of all three.
+// Performance knobs (-parallel, -grid, -stream, -trace-cache) change only
+// how fast the simulation runs, never its result: -parallel bounds worker
+// goroutines (static-shape sweep, reference kernel, sharded extraction),
+// -grid picks the micro-tile grid representation, -stream pipelines DRT
+// task extraction alongside simulation (see DESIGN.md "Extraction
+// pipeline"), and -trace-cache routes the run through the record/replay
+// split (record the schedule, then retime it — the verification path for
+// DESIGN.md "Trace record/replay"; the S-U-C ExTensor variants sweep tile
+// shapes per machine and fall back to the direct run). The report is
+// byte-identical at any setting of all four.
 package main
 
 import (
@@ -67,13 +71,14 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the static-shape sweep, the reference kernel and sharded extraction (1 = sequential)")
 		gridMode   = flag.String("grid", "auto", "micro-tile grid representation: auto | dense | compressed")
 		stream     = flag.Bool("stream", false, "pipeline DRT task extraction alongside simulation, sharded across -parallel workers")
+		traceCache = flag.Bool("trace-cache", false, "run via the record/replay split: record the tile schedule, then retime it (byte-identical report)")
 		trace      = flag.Bool("trace", false, "render the DRT task tiling of the K×J plane as ASCII")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout instead of text")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the run's spans")
 		metricsOut = flag.String("metrics-out", "", "write the JSON report to this file")
 	)
 	prof := cli.AddProfileFlags()
-	cli.GroupUsage("drtsim", "Performance knobs", "parallel", "grid", "stream")
+	cli.GroupUsage("drtsim", "Performance knobs", "parallel", "grid", "stream", "trace-cache")
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtsim")
@@ -106,6 +111,7 @@ func main() {
 		rec.SetMeta("microtile", fmt.Sprint(*microTile))
 		rec.SetMeta("grid", *gridMode)
 		rec.SetMeta("stream", fmt.Sprint(*stream))
+		rec.SetMeta("trace-cache", fmt.Sprint(*traceCache))
 		rec.SetMeta("seed", fmt.Sprint(e.Seed))
 		if spec, err := json.Marshal(e.Spec(*scale)); err == nil {
 			rec.SetMeta("workload.spec", string(spec))
@@ -135,7 +141,7 @@ func main() {
 		rec.SetMeta("machine.dram_bandwidth_bytes_per_s", fmt.Sprint(m.DRAMBandwidth))
 	}
 
-	r, err := run(*accelName, w, m, *parallel, *stream, rec)
+	r, err := run(*accelName, w, m, *parallel, *stream, *traceCache, rec)
 	if err != nil {
 		cli.Fatalf("drtsim: %v", err)
 	}
@@ -229,7 +235,7 @@ func printTrace(a *accel.Workload, microTile int) error {
 	return nil
 }
 
-func run(name string, w *accel.Workload, m sim.Machine, parallel int, stream bool, rec *obs.Collector) (sim.Result, error) {
+func run(name string, w *accel.Workload, m sim.Machine, parallel int, stream bool, traceCache bool, rec *obs.Collector) (sim.Result, error) {
 	var r obs.Recorder
 	if rec != nil {
 		r = rec
@@ -241,25 +247,71 @@ func run(name string, w *accel.Workload, m sim.Machine, parallel int, stream boo
 	exOpt.Rec = r
 	osOpt := outerspace.Options{Machine: m, Partition: exOpt.Partition, Stream: stream, Parallel: parallel, Rec: r}
 	mrOpt := matraptor.Options{Machine: m, Partition: exOpt.Partition, Stream: stream, Parallel: parallel, Rec: r}
+	// With -trace-cache the engine-backed variants run through the
+	// record/replay split: the record pass carries the recorder (it does all
+	// the engine work, so instrumentation is identical to the direct run),
+	// and the retime pass prices the trace without re-recording. The untiled
+	// baselines invert that — their record captures only the closed-form
+	// invariants, so the retime is the pass that reports the result.
+	runOS := func(v outerspace.Variant) (sim.Result, error) {
+		if !traceCache {
+			return outerspace.Run(v, w, osOpt)
+		}
+		tr, err := outerspace.Record(v, w, osOpt)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		ro := osOpt
+		if v != outerspace.Untiled {
+			ro.Rec = nil
+		}
+		return outerspace.Retime(tr, ro), nil
+	}
+	runMR := func(v matraptor.Variant) (sim.Result, error) {
+		if !traceCache {
+			return matraptor.Run(v, w, mrOpt)
+		}
+		tr, err := matraptor.Record(v, w, mrOpt)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		ro := mrOpt
+		if v != matraptor.Untiled {
+			ro.Rec = nil
+		}
+		return matraptor.Retime(tr, ro), nil
+	}
 	switch name {
 	case "extensor":
+		// The S-U-C variants sweep static tile shapes per machine (the
+		// winner is machine-dependent), so they are not recordable here and
+		// keep the direct path regardless of -trace-cache.
 		return extensor.Run(extensor.Original, w, exOpt)
 	case "extensor-op":
 		return extensor.Run(extensor.OP, w, exOpt)
 	case "extensor-op-drt":
+		if traceCache {
+			tr, err := extensor.Record(extensor.OPDRT, w, exOpt)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			ro := exOpt
+			ro.Rec = nil
+			return extensor.Retime(extensor.OPDRT, tr, ro), nil
+		}
 		return extensor.Run(extensor.OPDRT, w, exOpt)
 	case "outerspace":
-		return outerspace.Run(outerspace.Untiled, w, osOpt)
+		return runOS(outerspace.Untiled)
 	case "outerspace-suc":
-		return outerspace.Run(outerspace.SUC, w, osOpt)
+		return runOS(outerspace.SUC)
 	case "outerspace-drt":
-		return outerspace.Run(outerspace.DRT, w, osOpt)
+		return runOS(outerspace.DRT)
 	case "matraptor":
-		return matraptor.Run(matraptor.Untiled, w, mrOpt)
+		return runMR(matraptor.Untiled)
 	case "matraptor-suc":
-		return matraptor.Run(matraptor.SUC, w, mrOpt)
+		return runMR(matraptor.SUC)
 	case "matraptor-drt":
-		return matraptor.Run(matraptor.DRT, w, mrOpt)
+		return runMR(matraptor.DRT)
 	}
 	return sim.Result{}, fmt.Errorf("unknown accelerator %q", name)
 }

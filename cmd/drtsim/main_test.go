@@ -38,13 +38,19 @@ func TestReportGolden(t *testing.T) {
 	a := e.Generate(scale)
 	golden := filepath.Join("testdata", "report_bcsstk17.golden")
 	for _, cfg := range []struct {
-		grid   tiling.Mode
-		stream bool
+		grid       tiling.Mode
+		stream     bool
+		traceCache bool
 	}{
-		{tiling.Dense, false},
-		{tiling.Dense, true},
-		{tiling.Compressed, false},
-		{tiling.Compressed, true},
+		{tiling.Dense, false, false},
+		{tiling.Dense, true, false},
+		{tiling.Compressed, false, false},
+		{tiling.Compressed, true, false},
+		// -trace-cache reruns the same workload through the record/replay
+		// split; matching the golden bytes pins Retime's bit-for-bit
+		// equality with the direct run at the CLI surface.
+		{tiling.Dense, false, true},
+		{tiling.Dense, true, true},
 	} {
 		grid := cfg.grid
 		w, err := accel.NewWorkloadWith(e.Name, a, a,
@@ -57,14 +63,14 @@ func TestReportGolden(t *testing.T) {
 		// simulating with four workers — and, in half the cases, the
 		// pipelined sharded extraction — and still matching it byte-for-byte
 		// pins the parallel paths' determinism guarantee.
-		r, err := run(accelName, w, m, 4, cfg.stream, nil)
+		r, err := run(accelName, w, m, 4, cfg.stream, cfg.traceCache, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
 		report(&buf, w, r, m)
 
-		if *update && grid == tiling.Dense && !cfg.stream {
+		if *update && grid == tiling.Dense && !cfg.stream && !cfg.traceCache {
 			if err := os.MkdirAll("testdata", 0o755); err != nil {
 				t.Fatal(err)
 			}
@@ -78,7 +84,7 @@ func TestReportGolden(t *testing.T) {
 			t.Fatalf("missing golden file (run with -update to create): %v", err)
 		}
 		if !bytes.Equal(buf.Bytes(), want) {
-			t.Errorf("report with -grid %s -stream=%v diverged from golden file.\n--- got ---\n%s--- want ---\n%s", grid, cfg.stream, buf.Bytes(), want)
+			t.Errorf("report with -grid %s -stream=%v -trace-cache=%v diverged from golden file.\n--- got ---\n%s--- want ---\n%s", grid, cfg.stream, cfg.traceCache, buf.Bytes(), want)
 		}
 	}
 }
@@ -98,7 +104,7 @@ func TestJSONMatchesText(t *testing.T) {
 	}
 	m := exp.NewContext(exp.Options{Scale: 64, MicroTile: 8}).Machine()
 	rec := obs.NewCollector()
-	r, err := run("extensor-op-drt", w, m, 1, false, rec)
+	r, err := run("extensor-op-drt", w, m, 1, false, false, rec)
 	if err != nil {
 		t.Fatal(err)
 	}

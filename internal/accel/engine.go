@@ -182,6 +182,14 @@ func maxI64(a, b int64) int64 {
 // multiply-and-merge model. It verifies the task partition covers the
 // kernel exactly.
 func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
+	return runTasks(w, opt, nil)
+}
+
+// runTasks is the engine loop behind RunTasks and RecordTasks: with a
+// non-nil trace it additionally captures the machine-invariant schedule
+// (see Trace). Capture is pure addition — it never changes what the engine
+// computes — so the recording pass's Result equals RunTasks exactly.
+func runTasks(w *Workload, opt EngineOptions, trc *Trace) (sim.Result, error) {
 	rec := obs.OrNop(opt.Rec)
 	runSpan := rec.Begin(obs.CatPhase, "simulate")
 	defer rec.End(runSpan)
@@ -263,6 +271,17 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 		}
 		inputTraffic += taskBytes
 
+		var tc *traceTask
+		if trc != nil {
+			var rebuiltTiles int64
+			for oi, n := range t.OpTiles {
+				if t.Rebuilt == nil || t.Rebuilt[oi] {
+					rebuiltTiles += n
+				}
+			}
+			tc = trc.beginTask(taskBytes, t.ScanTiles, t.Probes, rebuiltTiles)
+		}
+
 		// Exact task-local compute.
 		iR := kernels.Range{Lo: t.Ranges[DimI].Lo * mt, Hi: t.Ranges[DimI].Hi * mt}
 		jR := kernels.Range{Lo: t.Ranges[DimJ].Lo * mt, Hi: t.Ranges[DimJ].Hi * mt}
@@ -277,7 +296,7 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 			// Hierarchical DRT: a second tile extractor splits the LLB
 			// task into PE sub-tasks; each sub-task is one round-robin
 			// work item and its tile distribution rides the NoC.
-			inner, err := runPELevel(ps, &opt, t, pe, spa)
+			inner, err := runPELevel(ps, &opt, t, pe, spa, trc)
 			if err != nil {
 				return sim.Result{}, err
 			}
@@ -287,13 +306,24 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 			res.NoCBytes += inner.nocBytes
 			extractTotal += inner.extract
 			taskCompute = inner.computeSum / float64(opt.Machine.PEs)
+			if tc != nil {
+				tc.subsHi = len(trc.subs)
+				tc.extsHi = len(trc.exts)
+				tc.distsHi = len(trc.dists)
+			}
 		} else {
 			for _, rw := range tr.Rows {
 				rc := sim.ComputeCycles(opt.Intersect, int64(rw.AElems)+rw.MACCs, rw.MACCs)
 				pe.Assign(rc)
 				taskCompute += rc
+				if tc != nil {
+					trc.rows = append(trc.rows, rowCost{scanned: int64(rw.AElems) + rw.MACCs, maccs: rw.MACCs})
+				}
 			}
 			taskCompute /= float64(opt.Machine.PEs)
+			if tc != nil {
+				tc.rowsHi = len(trc.rows)
+			}
 		}
 
 		// Output accounting.
@@ -335,6 +365,15 @@ func RunTasks(w *Workload, opt EngineOptions) (sim.Result, error) {
 	res.BufferAccessBytes = inputTraffic + res.Traffic.Z + res.MACCs*PartialBytes
 	if opt.PELevel == nil {
 		res.NoCBytes = inputTraffic
+	}
+	if trc != nil {
+		trc.traffic = res.Traffic
+		trc.maccs = res.MACCs
+		trc.intersectOps = res.IntersectOps
+		trc.tasks = res.Tasks
+		trc.emptyTasks = res.EmptyTasks
+		trc.overflows = res.Overflows
+		trc.inputTraffic = inputTraffic
 	}
 	res.RecordTo(opt.Rec)
 	return res, nil
@@ -400,7 +439,10 @@ func newPEState(w *Workload, pl *PELevelOptions) *peState {
 
 // runPELevel re-tiles one outer task with the PE-level extractor and
 // distributes the resulting sub-tasks round-robin across the PE array.
-func runPELevel(ps *peState, opt *EngineOptions, outer *core.Task, pe *sim.PEArray, spa *kernels.SPA) (peLevelStats, error) {
+// With a non-nil trc it captures each sub-task's intersection work, each
+// fresh sub-tile's Aggregate tile count and each distribution event into
+// the trace's flat ledgers (the caller closes the task's windows).
+func runPELevel(ps *peState, opt *EngineOptions, outer *core.Task, pe *sim.PEArray, spa *kernels.SPA, trc *Trace) (peLevelStats, error) {
 	var st peLevelStats
 	if ps.err != nil {
 		return st, ps.err
@@ -413,6 +455,11 @@ func runPELevel(ps *peState, opt *EngineOptions, outer *core.Task, pe *sim.PEArr
 	}
 	mt := w.MicroTile
 	pending := [2]int64{}
+	// pendRec mirrors pending for capture: a rebuild overwrites its
+	// operand's slot (matching the engine's assignment semantics), and the
+	// slots flush to the trace at distribution time.
+	var pendRec [2]distEvent
+	var pendSet [2]bool
 	// seenRegions remembers each operand's already-distributed sub-tile
 	// regions within this outer task: a rebuild that re-derives a region
 	// distributed before (e.g. the streamed operand's sub-tile sequence
@@ -450,10 +497,21 @@ func runPELevel(ps *peState, opt *EngineOptions, outer *core.Task, pe *sim.PEArr
 				// Multicast replay of an already-distributed sub-tile.
 				pending[oi] = t.OpFootprint[oi] / int64(opt.Machine.PEs)
 				rec.Count("pe.multicast_replays", 1)
+				if trc != nil {
+					pendRec[oi] = distEvent{footprint: t.OpFootprint[oi], multicast: true}
+					pendSet[oi] = true
+				}
 				continue
 			}
 			pending[oi] = t.OpFootprint[oi]
 			seenRegions[oi][reg] = true
+			if trc != nil {
+				pendRec[oi] = distEvent{footprint: t.OpFootprint[oi]}
+				pendSet[oi] = true
+				// Captured unconditionally so a trace recorded under either
+				// extractor kind retimes correctly for both.
+				trc.exts = append(trc.exts, t.OpTiles[oi])
+			}
 			// Second-level extraction for this operand's new sub-tile is
 			// the Aggregate unit's P-wide pass over its micro-tile
 			// metadata; metadata itself was already built by the DRAM
@@ -470,6 +528,10 @@ func runPELevel(ps *peState, opt *EngineOptions, outer *core.Task, pe *sim.PEArr
 		for oi := 0; oi < 2; oi++ {
 			distributed += pending[oi]
 			pending[oi] = 0
+			if pendSet[oi] {
+				trc.dists = append(trc.dists, pendRec[oi])
+				pendSet[oi] = false
+			}
 		}
 		st.nocBytes += distributed
 		iR := kernels.Range{Lo: t.Ranges[DimI].Lo * mt, Hi: t.Ranges[DimI].Hi * mt}
@@ -480,6 +542,9 @@ func runPELevel(ps *peState, opt *EngineOptions, outer *core.Task, pe *sim.PEArr
 		cycles := sim.ComputeCycles(opt.Intersect, tr.ScannedA+2*tr.MACCs, tr.MACCs)
 		pe.Assign(cycles)
 		st.computeSum += cycles
+		if trc != nil {
+			trc.subs = append(trc.subs, rowCost{scanned: tr.ScannedA + 2*tr.MACCs, maccs: tr.MACCs})
+		}
 		rec.Count("pe.subtasks", 1)
 		rec.Observe("pe.subtask_cycles", cycles)
 	}

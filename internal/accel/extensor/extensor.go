@@ -103,11 +103,11 @@ func DefaultOptions() Options {
 	}
 }
 
-// Run simulates one workload on the selected variant.
-func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
-	if err := opt.Partition.Validate(); err != nil {
-		return sim.Result{}, err
-	}
+// engineOptions maps (variant, options) onto the task-stream engine's
+// configuration. For the S-U-C variants InitialSize carries StaticShape
+// and is left unset when no shape is pinned (the sweep fills it per
+// candidate).
+func engineOptions(v Variant, opt Options) accel.EngineOptions {
 	capA, capB, capO := opt.Partition.Split(opt.Machine.GlobalBuffer)
 	base := accel.EngineOptions{
 		Machine:   opt.Machine,
@@ -118,6 +118,7 @@ func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 		Extractor: opt.Extractor,
 		Stream:    opt.Stream,
 		Parallel:  opt.Parallel,
+		Rec:       opt.Rec,
 	}
 	switch v {
 	case Original:
@@ -128,28 +129,17 @@ func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 		base.Strategy = core.Static
 		base.Intersect = sim.SkipBased
 		base.Extractor = extractor.IdealExtractor // no DRT hardware
-		if opt.StaticShape != nil {
-			base.InitialSize = opt.StaticShape
-			base.Rec = opt.Rec
-			return accel.RunTasks(w, base)
-		}
-		return runSweep(w, base, capA, capB, opt.Parallel, opt.Rec)
+		base.InitialSize = opt.StaticShape
 	case OP:
 		// B-stationary outer-product-style dataflow: J → K → I.
 		base.LoopOrder = []int{accel.DimJ, accel.DimK, accel.DimI}
 		base.Strategy = core.Static
 		base.Extractor = extractor.IdealExtractor
-		if opt.StaticShape != nil {
-			base.InitialSize = opt.StaticShape
-			base.Rec = opt.Rec
-			return accel.RunTasks(w, base)
-		}
-		return runSweep(w, base, capA, capB, opt.Parallel, opt.Rec)
+		base.InitialSize = opt.StaticShape
 	case OPDRT:
 		base.LoopOrder = []int{accel.DimJ, accel.DimK, accel.DimI}
 		base.Strategy = opt.Strategy
 		base.InitialSize = opt.InitialSize
-		base.Rec = opt.Rec
 		if !opt.SingleLevel {
 			// Second tiling level: each LLB tile is re-tiled into PE
 			// sub-tiles with the K → I → J dataflow of Fig. 5.
@@ -160,9 +150,75 @@ func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 				Strategy:  opt.Strategy,
 			}
 		}
-		return accel.RunTasks(w, base)
 	}
-	return sim.Result{}, fmt.Errorf("extensor: unknown variant %d", v)
+	return base
+}
+
+// Run simulates one workload on the selected variant.
+func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
+	if err := opt.Partition.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	switch v {
+	case Original, OP, OPDRT:
+	default:
+		return sim.Result{}, fmt.Errorf("extensor: unknown variant %d", int(v))
+	}
+	base := engineOptions(v, opt)
+	if v != OPDRT && opt.StaticShape == nil {
+		// The sweep instruments only the winning shape's run; runSweep
+		// re-simulates it with the recorder when one is attached.
+		base.Rec = nil
+		return runSweep(w, base, base.CapA, base.CapB, opt.Parallel, opt.Rec)
+	}
+	return accel.RunTasks(w, base)
+}
+
+// Record runs the variant's engine once in capture mode and returns the
+// recorded schedule (see accel.Trace): the trace retimes bit-for-bit under
+// any Machine speed knob, IntersectKind or extractor.Kind, but is bound to
+// everything that shapes the schedule — workload, variant, partition,
+// buffer sizes, strategy, initial sizes and SingleLevel. The S-U-C
+// variants require a pinned StaticShape: their static-shape sweep picks
+// the winner by cycle count, which is machine-dependent, so an un-pinned
+// sweep schedule is not machine-invariant.
+func Record(v Variant, w *accel.Workload, opt Options) (*accel.Trace, error) {
+	if err := opt.Partition.Validate(); err != nil {
+		return nil, err
+	}
+	switch v {
+	case Original, OP:
+		if opt.StaticShape == nil {
+			return nil, fmt.Errorf("extensor: recording %v requires StaticShape — the static-shape sweep's winner is machine-dependent", v)
+		}
+	case OPDRT:
+	default:
+		return nil, fmt.Errorf("extensor: unknown variant %d", int(v))
+	}
+	return accel.RecordTasks(w, engineOptions(v, opt))
+}
+
+// Retime re-prices a trace recorded by Record for the same variant under
+// the machine-dependent knobs in opt (Machine speeds, Intersect,
+// Extractor, Rec). The variant's hardware overrides are re-applied exactly
+// as Run applies them — Original pins the serial skip-based unit and both
+// S-U-C variants have no DRT extractor — so sweeping opt.Intersect or
+// opt.Extractor over a static-variant trace is a no-op, matching Run.
+func Retime(v Variant, tr *accel.Trace, opt Options) sim.Result {
+	ro := accel.RetimeOptions{
+		Machine:   opt.Machine,
+		Intersect: opt.Intersect,
+		Extractor: opt.Extractor,
+		Rec:       opt.Rec,
+	}
+	switch v {
+	case Original:
+		ro.Intersect = sim.SkipBased
+		ro.Extractor = extractor.IdealExtractor
+	case OP:
+		ro.Extractor = extractor.IdealExtractor
+	}
+	return accel.Retime(tr, ro)
 }
 
 // staticShapes proposes S-U-C tile shapes (in micro-tile grid units) whose

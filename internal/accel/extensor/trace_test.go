@@ -1,0 +1,82 @@
+package extensor
+
+import (
+	"testing"
+
+	"drt/internal/extractor"
+	"drt/internal/sim"
+)
+
+// TestExtensorRetimeMatchesRun pins the variant-level record/replay
+// contract: retiming a recorded schedule under any (machine speed,
+// intersect kind, extractor kind) equals the direct Run bit-for-bit, for
+// every variant — including the hierarchical and single-level OPDRT and
+// the S-U-C variants under a pinned static shape.
+func TestExtensorRetimeMatchesRun(t *testing.T) {
+	w := testWorkload(t, 21)
+	base := DefaultOptions()
+	base.Machine = smallMachine()
+
+	variants := []struct {
+		name string
+		v    Variant
+		prep func(o *Options)
+	}{
+		{"opdrt", OPDRT, nil},
+		{"opdrt-single", OPDRT, func(o *Options) { o.SingleLevel = true }},
+		{"original", Original, nil},
+		{"op", OP, nil},
+	}
+	kinds := []sim.IntersectKind{sim.SkipBased, sim.Parallel, sim.SerialOptimal}
+	exts := []extractor.Kind{extractor.ParallelExtractor, extractor.IdealExtractor}
+	for _, vc := range variants {
+		t.Run(vc.name, func(t *testing.T) {
+			opt := base
+			if vc.prep != nil {
+				vc.prep(&opt)
+			}
+			if vc.v != OPDRT {
+				shape, err := BestStaticShape(vc.v, w, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt.StaticShape = shape
+			}
+			tr, err := Record(vc.v, w, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mult := range []float64{1, 0.5, 4} {
+				for _, ik := range kinds {
+					for _, ek := range exts {
+						ro := opt
+						ro.Machine.DRAMBandwidth *= mult
+						ro.Intersect = ik
+						ro.Extractor = ek
+						want, err := Run(vc.v, w, ro)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := Retime(vc.v, tr, ro)
+						if got != want {
+							t.Errorf("bw×%g %v/%v:\n got %+v\nwant %+v", mult, ik, ek, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRecordRequiresStaticShape pins that the S-U-C variants refuse to
+// record an un-pinned sweep: its winner is machine-dependent.
+func TestRecordRequiresStaticShape(t *testing.T) {
+	w := testWorkload(t, 23)
+	opt := DefaultOptions()
+	opt.Machine = smallMachine()
+	for _, v := range []Variant{Original, OP} {
+		if _, err := Record(v, w, opt); err == nil {
+			t.Errorf("Record(%v) without StaticShape should fail", v)
+		}
+	}
+}

@@ -63,46 +63,105 @@ func DefaultOptions() Options {
 	return Options{Machine: sim.DefaultMachine(), Partition: sim.DefaultPartition()}
 }
 
+// engineOptions maps a tiled variant onto the task-stream engine's
+// configuration.
+func engineOptions(v Variant, w *accel.Workload, opt Options) accel.EngineOptions {
+	capA, capB, capO := opt.Partition.Split(opt.Machine.GlobalBuffer)
+	eo := accel.EngineOptions{
+		Machine: opt.Machine,
+		CapA:    capA, CapB: capB, CapO: capO,
+		// Outer product: the contracted dimension is outermost and
+		// both inputs are co-tiled along it.
+		LoopOrder: []int{accel.DimK, accel.DimI, accel.DimJ},
+		Intersect: sim.SerialOptimal, // idealized on-chip behavior
+		Extractor: extractor.IdealExtractor,
+		Strategy:  core.Static,
+		Stream:    opt.Stream,
+		Parallel:  opt.Parallel,
+		Rec:       opt.Rec,
+	}
+	if v == DRT {
+		eo.Strategy = core.GreedyContractedFirst
+	} else {
+		eo.InitialSize = staticShape(w, capA, capB)
+	}
+	return eo
+}
+
 // Run returns the DRAM-traffic-driven result for one workload.
 func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 	switch v {
 	case Untiled:
 		return untiled(w, opt), nil
 	case SUC, DRT:
-		capA, capB, capO := opt.Partition.Split(opt.Machine.GlobalBuffer)
-		eo := accel.EngineOptions{
-			Machine: opt.Machine,
-			CapA:    capA, CapB: capB, CapO: capO,
-			// Outer product: the contracted dimension is outermost and
-			// both inputs are co-tiled along it.
-			LoopOrder: []int{accel.DimK, accel.DimI, accel.DimJ},
-			Intersect: sim.SerialOptimal, // idealized on-chip behavior
-			Extractor: extractor.IdealExtractor,
-			Strategy:  core.Static,
-			Stream:    opt.Stream,
-			Parallel:  opt.Parallel,
-			Rec:       opt.Rec,
-		}
-		if v == DRT {
-			eo.Strategy = core.GreedyContractedFirst
-		} else {
-			eo.InitialSize = staticShape(w, capA, capB)
-		}
-		return accel.RunTasks(w, eo)
+		return accel.RunTasks(w, engineOptions(v, w, opt))
 	}
 	return sim.Result{}, fmt.Errorf("outerspace: unknown variant %d", v)
 }
 
-// untiled charges the original design's traffic in closed form: each input
-// read once; the multiply phase writes every partial product to DRAM and
-// the merge phase reads them all back before writing the final output.
-func untiled(w *accel.Workload, opt Options) sim.Result {
+// Trace is the machine-invariant half of one Run: the recorded task
+// schedule for the tiled variants, or the untiled design's closed-form
+// traffic ledger. Retiming is valid under any Machine speed knob; the
+// schedule is bound to the workload, variant, partition and buffer sizes
+// it was recorded with.
+type Trace struct {
+	v   Variant
+	eng *accel.Trace // tiled variants
+	inv sim.Result   // untiled: traffic + MACCs, timing left zero
+}
+
+// Record runs the variant once in capture mode and returns the recorded
+// schedule (the untiled closed form has no task stream; its invariant
+// traffic ledger is captured directly).
+func Record(v Variant, w *accel.Workload, opt Options) (*Trace, error) {
+	switch v {
+	case Untiled:
+		return &Trace{v: v, inv: untiledInvariant(w)}, nil
+	case SUC, DRT:
+		eng, err := accel.RecordTasks(w, engineOptions(v, w, opt))
+		if err != nil {
+			return nil, err
+		}
+		return &Trace{v: v, eng: eng}, nil
+	}
+	return nil, fmt.Errorf("outerspace: unknown variant %d", v)
+}
+
+// Retime re-prices a recorded schedule under opt's machine. The design's
+// idealized on-chip hardware (oracle intersection, no DRT extractor) is
+// re-applied exactly as Run applies it.
+func Retime(tr *Trace, opt Options) sim.Result {
+	if tr.v == Untiled {
+		res := tr.inv
+		res.DRAMCycles = opt.Machine.DRAMCycles(res.Traffic.Total())
+		res.ComputeCycles = float64(res.MACCs) / float64(opt.Machine.PEs)
+		res.RecordTo(opt.Rec)
+		return res
+	}
+	return accel.Retime(tr.eng, accel.RetimeOptions{
+		Machine:   opt.Machine,
+		Intersect: sim.SerialOptimal,
+		Extractor: extractor.IdealExtractor,
+		Rec:       opt.Rec,
+	})
+}
+
+// untiledInvariant charges the original design's traffic in closed form:
+// each input read once; the multiply phase writes every partial product to
+// DRAM and the merge phase reads them all back before writing the final
+// output.
+func untiledInvariant(w *accel.Workload) sim.Result {
 	fa, fb := w.InputFootprint()
 	partials := w.MACCs * accel.PartialBytes
 	res := sim.Result{Name: w.Name, MACCs: w.MACCs}
 	res.Traffic.A = fa
 	res.Traffic.B = fb
 	res.Traffic.Z = 2*partials + w.OutputFootprint()
+	return res
+}
+
+func untiled(w *accel.Workload, opt Options) sim.Result {
+	res := untiledInvariant(w)
 	res.DRAMCycles = opt.Machine.DRAMCycles(res.Traffic.Total())
 	res.ComputeCycles = float64(w.MACCs) / float64(opt.Machine.PEs)
 	res.RecordTo(opt.Rec)

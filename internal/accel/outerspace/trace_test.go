@@ -1,0 +1,33 @@
+package outerspace
+
+import (
+	"testing"
+)
+
+// TestRetimeMatchesRun pins record/replay for all three variants: retiming
+// under scaled machine speeds equals the direct Run bit-for-bit (the
+// untiled closed form included).
+func TestRetimeMatchesRun(t *testing.T) {
+	w := testWorkload(t, 31)
+	base := smallOptions()
+	for _, v := range []Variant{Untiled, SUC, DRT} {
+		tr, err := Record(v, w, base)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		for _, mult := range []float64{1, 0.25, 8} {
+			for _, pes := range []int{base.Machine.PEs, 16} {
+				opt := base
+				opt.Machine.DRAMBandwidth *= mult
+				opt.Machine.PEs = pes
+				want, err := Run(v, w, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := Retime(tr, opt); got != want {
+					t.Errorf("%v bw×%g pes=%d:\n got %+v\nwant %+v", v, mult, pes, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package accel
+
+import (
+	"drt/internal/extractor"
+	"drt/internal/metrics"
+	"drt/internal/obs"
+	"drt/internal/sim"
+)
+
+// Trace is the machine-invariant half of one engine run: the ordered
+// per-task record of what the tile schedule moved and computed — input
+// bytes charged, extraction probe statistics, per-row (or per-PE-subtask)
+// intersection work, and NoC distribution events — plus the run's
+// invariant ledgers (traffic, MACCs, task counts). Everything that depends
+// only on the workload and the tiling configuration (buffer capacities,
+// loop order, growth strategy, initial sizes) lives here; everything that
+// depends on the machine's speeds (DRAM bandwidth/latency, PE count,
+// intersection unit, extractor implementation) is deliberately absent and
+// re-derived by Retime.
+//
+// A trace recorded by RecordTasks is valid for any Machine and any
+// IntersectKind/extractor.Kind, because none of those knobs feed back into
+// Algorithm 1's tile shaping: capacities come from the buffer partition,
+// and the intersection/extraction units only price the fixed schedule.
+// Retiming a trace under a different partition, loop order, strategy,
+// initial size or workload is invalid — callers key their caches on
+// exactly those inputs.
+type Trace struct {
+	// Name is the recorded workload's name, copied into every retimed
+	// Result.
+	Name string
+
+	traffic      metrics.Traffic
+	maccs        int64
+	intersectOps int64
+	tasks        int
+	emptyTasks   int
+	overflows    int
+	inputTraffic int64
+	hierarchical bool
+
+	taskRecs []traceTask
+	// Flat per-item storage indexed by the tasks' [lo, hi) windows keeps
+	// the trace a handful of allocations regardless of task count.
+	rows  []rowCost   // non-hierarchical: one entry per output row with work
+	subs  []rowCost   // hierarchical: one entry per non-empty PE sub-task
+	exts  []int64     // hierarchical: Aggregate tile counts per fresh sub-tile
+	dists []distEvent // hierarchical: NoC distribution events
+}
+
+// traceTask is one non-empty task's replayable record. Empty tasks carry
+// no timing and are folded into the counters; a rebuild that happened
+// during an empty task charges its bytes to the next non-empty task here,
+// exactly as the engine's pending-load bookkeeping does.
+type traceTask struct {
+	bytes        int64 // input tile bytes charged (A + B)
+	scanTiles    int64
+	probes       int
+	rebuiltTiles int64
+	rowsLo, rowsHi int
+	subsLo, subsHi int
+	extsLo, extsHi int
+	distsLo, distsHi int
+}
+
+// rowCost is one intersection-unit work item: the coordinates streamed
+// through the unit and the effectual MACCs, the two arguments of
+// sim.ComputeCycles.
+type rowCost struct {
+	scanned, maccs int64
+}
+
+// distEvent is one PE-level tile distribution: a fresh sub-tile rides the
+// NoC in full, a multicast replay amortizes its footprint across the PE
+// array (footprint / PEs, re-divided at retime so the PE count stays a
+// free parameter).
+type distEvent struct {
+	footprint int64
+	multicast bool
+}
+
+// NumTasks returns the number of non-empty tasks in the recorded schedule.
+func (t *Trace) NumTasks() int { return len(t.taskRecs) }
+
+// RetimeOptions selects the machine-dependent knobs a recorded schedule is
+// re-priced under. Every field may differ from the recording run; none of
+// them alters the schedule itself.
+type RetimeOptions struct {
+	Machine   sim.Machine
+	Intersect sim.IntersectKind
+	Extractor extractor.Kind
+	// Rec, when non-nil, receives the retimed result's phase spans and
+	// ledger counters (sim.Result.RecordTo) and the pipeline model's
+	// per-task stage spans. Per-task engine histograms (tile sizes, cache
+	// statistics) belong to the recording pass, which runs the full
+	// engine, and are not re-emitted here.
+	Rec obs.Recorder
+}
+
+// Retime converts a recorded schedule into the simulation result it would
+// have produced under the given machine configuration. For the same
+// machine, intersection unit and extractor kind as the recording run the
+// returned Result is bit-for-bit identical to RunTasks — the float
+// accumulation order of every phase total is replayed exactly — at a cost
+// that is a small constant per recorded work item, with no extraction,
+// kernel or output-model work.
+func Retime(tr *Trace, opt RetimeOptions) sim.Result {
+	res := sim.Result{
+		Name:         tr.Name,
+		Traffic:      tr.traffic,
+		MACCs:        tr.maccs,
+		IntersectOps: tr.intersectOps,
+		Tasks:        tr.tasks,
+		EmptyTasks:   tr.emptyTasks,
+		Overflows:    tr.overflows,
+	}
+	pe := sim.NewPEArray(opt.Machine.PEs)
+	pes := float64(opt.Machine.PEs)
+	var extractTotal float64
+	var nocBytes int64
+	var pipe sim.Pipeline
+	pipe.Rec = opt.Rec
+	for ti := range tr.taskRecs {
+		t := &tr.taskRecs[ti]
+		var taskCompute float64
+		if tr.hierarchical {
+			// Replay the PE level in the engine's accumulation order:
+			// the inner level's extraction and compute sums first, then
+			// the outer task's extraction cost.
+			var innerExtract, innerCompute float64
+			if opt.Extractor == extractor.ParallelExtractor {
+				for _, n := range tr.exts[t.extsLo:t.extsHi] {
+					innerExtract += float64(n) / extractor.Width
+				}
+			}
+			for _, s := range tr.subs[t.subsLo:t.subsHi] {
+				cycles := sim.ComputeCycles(opt.Intersect, s.scanned, s.maccs)
+				pe.Assign(cycles)
+				innerCompute += cycles
+			}
+			for _, d := range tr.dists[t.distsLo:t.distsHi] {
+				if d.multicast {
+					nocBytes += d.footprint / int64(opt.Machine.PEs)
+				} else {
+					nocBytes += d.footprint
+				}
+			}
+			extractTotal += innerExtract
+			taskCompute = innerCompute / pes
+		} else {
+			for _, r := range tr.rows[t.rowsLo:t.rowsHi] {
+				rc := sim.ComputeCycles(opt.Intersect, r.scanned, r.maccs)
+				pe.Assign(rc)
+				taskCompute += rc
+			}
+			taskCompute /= pes
+		}
+		taskExtract := extractor.CostScalars(opt.Extractor, t.scanTiles, t.probes, t.rebuiltTiles).Total()
+		extractTotal += taskExtract
+		fetch := 0.0
+		if t.bytes > 0 {
+			fetch = opt.Machine.DRAMLatency + opt.Machine.DRAMCycles(t.bytes)
+		}
+		pipe.Push(taskExtract, fetch, taskCompute)
+	}
+	res.DRAMCycles = opt.Machine.DRAMCycles(res.Traffic.Total())
+	res.ComputeCycles = pe.MaxBusy()
+	res.ExtractCycles = extractTotal
+	res.PipelineCyclesExact = pipe.Makespan()
+	if res.DRAMCycles > res.PipelineCyclesExact {
+		res.PipelineCyclesExact = res.DRAMCycles
+	}
+	res.BufferAccessBytes = tr.inputTraffic + res.Traffic.Z + res.MACCs*PartialBytes
+	if tr.hierarchical {
+		res.NoCBytes = nocBytes
+	} else {
+		res.NoCBytes = tr.inputTraffic
+	}
+	res.RecordTo(opt.Rec)
+	return res
+}
+
+// RecordTasks runs the task-stream engine once and returns the recorded
+// schedule. The recording pass is RunTasks plus capture: it performs the
+// full extraction, kernel and output-model work, honors every engine
+// option (including Stream/Parallel and an attached Recorder), and the
+// Result it would have returned is recovered exactly by retiming the trace
+// under the same machine, intersection unit and extractor kind.
+func RecordTasks(w *Workload, opt EngineOptions) (*Trace, error) {
+	trc := &Trace{Name: w.Name, hierarchical: opt.PELevel != nil}
+	if _, err := runTasks(w, opt, trc); err != nil {
+		return nil, err
+	}
+	return trc, nil
+}
+
+// beginTask opens the capture record for one non-empty task; the engine
+// fills the replayable scalars as it prices the task.
+func (t *Trace) beginTask(bytes, scanTiles int64, probes int, rebuiltTiles int64) *traceTask {
+	t.taskRecs = append(t.taskRecs, traceTask{
+		bytes:        bytes,
+		scanTiles:    scanTiles,
+		probes:       probes,
+		rebuiltTiles: rebuiltTiles,
+		rowsLo:       len(t.rows), rowsHi: len(t.rows),
+		subsLo: len(t.subs), subsHi: len(t.subs),
+		extsLo: len(t.exts), extsHi: len(t.exts),
+		distsLo: len(t.dists), distsHi: len(t.dists),
+	})
+	return &t.taskRecs[len(t.taskRecs)-1]
+}

@@ -159,7 +159,7 @@ func (c *Context) AblDynPart() (*metrics.Table, error) {
 			return cell{}, err
 		}
 		opt := c.extensorOptions()
-		fixed, err := extensor.Run(extensor.OPDRT, w, opt)
+		fixed, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
 		if err != nil {
 			return cell{}, err
 		}
@@ -168,7 +168,7 @@ func (c *Context) AblDynPart() (*metrics.Table, error) {
 		cl.bestMS = cl.fixedMS
 		for _, p := range candidates {
 			opt.Partition = p
-			r, err := extensor.Run(extensor.OPDRT, w, opt)
+			r, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
 			if err != nil {
 				return cell{}, err
 			}
@@ -213,7 +213,7 @@ func (c *Context) AblPipeline() (*metrics.Table, error) {
 		}
 		out := make([]cell, len(variants))
 		for vi, v := range variants {
-			r, err := extensor.Run(v, w, opt)
+			r, err := c.runExtensor(v, e.Name, w, opt)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"sync"
+
+	"drt/internal/accel"
+	"drt/internal/accel/extensor"
+	"drt/internal/core"
+	"drt/internal/obs"
+	"drt/internal/sim"
+)
+
+// The trace cache memoizes recorded engine schedules (accel.Trace) across
+// sweep cells, following the singleflight pattern of the Square workload
+// cache: a cell is recorded exactly once — concurrent runners racing on
+// the same configuration block on its Once — and every later cell retimes
+// it under its own machine/intersect/extractor knobs. The key carries
+// everything that shapes a schedule; everything absent from the key is
+// machine-invariant (pinned by the replay equality tests in accel and
+// extensor) and safe to sweep over a shared trace.
+
+// traceKey identifies one recorded schedule: the workload (whose name is
+// unique per prepared workload within a Context — Scale, MicroTile and
+// Grid are Context-wide), the variant and every tiling-configuration knob
+// of extensor.Options.
+type traceKey struct {
+	workload string
+	variant  extensor.Variant
+	part     sim.Partition
+	strategy core.Strategy
+	init     [3]int
+	single   bool
+	hasShape bool
+	shape    [3]int
+	gb, pb   int64 // buffer sizes feed the capacity split, which shapes tiles
+}
+
+// traceCell is one memoized schedule recording.
+type traceCell struct {
+	once sync.Once
+	tr   *accel.Trace
+	err  error
+}
+
+// canonSize canonicalizes a per-dimension size vector the way the core
+// growth algorithm reads it: a nil vector and any entry ≤ 0 mean 1.
+func canonSize(s []int) [3]int {
+	out := [3]int{1, 1, 1}
+	for d := 0; d < 3 && d < len(s); d++ {
+		if s[d] > 0 {
+			out[d] = s[d]
+		}
+	}
+	return out
+}
+
+// traceEligible reports whether a run can be served from the trace cache:
+// the cache must be enabled, the run must not carry per-run
+// instrumentation (a recorder wants the full engine's histograms), and the
+// variant's schedule must be machine-invariant — OPDRT always is, the
+// S-U-C variants only under a pinned StaticShape (their shape sweep picks
+// a winner by cycle count).
+func (c *Context) traceEligible(v extensor.Variant, opt extensor.Options) bool {
+	if c.Opt.NoTraceCache || opt.Rec != nil {
+		return false
+	}
+	return v == extensor.OPDRT || opt.StaticShape != nil
+}
+
+// runExtensor is the runners' extensor.Run: eligible cells record the
+// schedule once per (workload, tiling config) and retime it — bit-for-bit
+// identical to the direct run, so tables do not depend on the cache —
+// while ineligible cells fall through to extensor.Run unchanged. wkey
+// names the prepared workload (w's identity within this Context).
+func (c *Context) runExtensor(v extensor.Variant, wkey string, w *accel.Workload, opt extensor.Options) (sim.Result, error) {
+	if !c.traceEligible(v, opt) {
+		return extensor.Run(v, w, opt)
+	}
+	tr, err := c.extensorTrace(v, wkey, w, opt)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return extensor.Retime(v, tr, opt), nil
+}
+
+// extensorTrace returns the memoized recorded schedule for (variant,
+// workload, tiling config), recording it on first use.
+func (c *Context) extensorTrace(v extensor.Variant, wkey string, w *accel.Workload, opt extensor.Options) (*accel.Trace, error) {
+	key := traceKey{
+		workload: wkey,
+		variant:  v,
+		part:     opt.Partition,
+		strategy: opt.Strategy,
+		init:     canonSize(opt.InitialSize),
+		single:   opt.SingleLevel,
+		gb:       opt.Machine.GlobalBuffer,
+		pb:       opt.Machine.PEBuffer,
+	}
+	if opt.StaticShape != nil {
+		key.hasShape = true
+		key.shape = canonSize(opt.StaticShape)
+	}
+	c.mu.Lock()
+	cell := c.traces[key]
+	if cell == nil {
+		cell = &traceCell{}
+		c.traces[key] = cell
+	}
+	c.mu.Unlock()
+	recorded := false
+	cell.once.Do(func() {
+		recorded = true
+		ro := opt
+		ro.Rec = nil // the recording pass is shared; per-run recorders are ineligible
+		cell.tr, cell.err = extensor.Record(v, w, ro)
+	})
+	rec := obs.OrNop(c.Opt.Rec)
+	if recorded {
+		rec.Count("exp.tracecache.misses", 1)
+	} else {
+		rec.Count("exp.tracecache.hits", 1)
+	}
+	return cell.tr, cell.err
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"testing"
+
+	"drt/internal/accel"
+	"drt/internal/accel/extensor"
+	"drt/internal/core"
+	"drt/internal/obs"
+	"drt/internal/sim"
+)
+
+// TestTraceCacheTableIdentical is the exp-level acceptance check for the
+// record/replay rewrite: every rewired runner must render byte-identical
+// tables with the trace cache on (default) and off (NoTraceCache), because
+// retiming a recorded schedule is bit-for-bit equal to the direct run. The
+// ids cover the sweep shapes — machine-knob sweep over shared traces
+// (fig12), schedule-shaping sweep with per-config traces (fig16), paired
+// strategy runs (fig15), extractor-kind pair from one trace plus static
+// fallbacks (sec65), and memoized non-square workloads (fig7).
+func TestTraceCacheTableIdentical(t *testing.T) {
+	for _, id := range []string{"fig12", "fig16", "fig15", "sec65", "fig7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			render := func(noCache bool) string {
+				c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Parallel: 4, NoTraceCache: noCache})
+				f, ok := c.Runner(id)
+				if !ok {
+					t.Fatalf("no runner for %s", id)
+				}
+				table, err := f()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return table.String()
+			}
+			cached := render(false)
+			direct := render(true)
+			if cached != direct {
+				t.Errorf("trace cache changed table bytes:\n--- cached ---\n%s\n--- direct ---\n%s", cached, direct)
+			}
+		})
+	}
+}
+
+// TestTraceCacheKeying pins the cache key's scope: machine speed knobs
+// share one trace, while any schedule-shaping change (initial size,
+// partition, strategy, hierarchy, buffer size) records its own — two
+// different tiling configs never share a trace.
+func TestTraceCacheKeying(t *testing.T) {
+	c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 1})
+	e := c.fig6Entries()[0]
+	w, err := c.Square(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := c.extensorOptions()
+	get := func(mutate func(o *extensor.Options)) *accel.Trace {
+		opt := base
+		if mutate != nil {
+			mutate(&opt)
+		}
+		tr, err := c.extensorTrace(extensor.OPDRT, e.Name, w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	same := get(nil)
+	if get(nil) != same {
+		t.Error("identical config did not share the trace")
+	}
+	// Machine speed knobs and pricing units share the trace.
+	if get(func(o *extensor.Options) { o.Machine.DRAMBandwidth *= 8 }) != same {
+		t.Error("bandwidth change must not re-record")
+	}
+	if get(func(o *extensor.Options) { o.Intersect = sim.SkipBased }) != same {
+		t.Error("intersect kind must not re-record")
+	}
+	// Explicit default initial size is the same schedule as nil.
+	if get(func(o *extensor.Options) { o.InitialSize = []int{1, 1, 1} }) != same {
+		t.Error("canonical initial size [1,1,1] must share the nil trace")
+	}
+	// Schedule-shaping knobs must each get their own trace.
+	distinct := map[*accel.Trace]string{same: "base"}
+	for name, mut := range map[string]func(o *extensor.Options){
+		"initial-size": func(o *extensor.Options) { o.InitialSize = []int{1, 4, 1} },
+		"partition":    func(o *extensor.Options) { o.Partition = sim.Partition{AFrac: 0.05, BFrac: 0.50, OFrac: 0.45} },
+		"strategy":     func(o *extensor.Options) { o.Strategy = core.Alternating },
+		"single-level": func(o *extensor.Options) { o.SingleLevel = true },
+		"global-buf":   func(o *extensor.Options) { o.Machine.GlobalBuffer *= 2 },
+	} {
+		tr := get(mut)
+		if prev, dup := distinct[tr]; dup {
+			t.Errorf("%s: config change reused the %s config's trace", name, prev)
+		}
+		distinct[tr] = name
+	}
+}
+
+// TestTraceCacheCounters pins the hit/miss accounting: a Fig. 12 run over
+// N workloads records N traces (misses) and serves the remaining
+// 12N - N sweep cells from cache (hits).
+func TestTraceCacheCounters(t *testing.T) {
+	rec := obs.NewCollector()
+	c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Rec: rec})
+	if _, err := c.Fig12(); err != nil {
+		t.Fatal(err)
+	}
+	n := int64(len(c.fig6Entries()))
+	if got := rec.Counter("exp.tracecache.misses"); got != n {
+		t.Errorf("misses = %d, want %d (one recording per workload)", got, n)
+	}
+	if got := rec.Counter("exp.tracecache.hits"); got != 12*n-n {
+		t.Errorf("hits = %d, want %d", got, 12*n-n)
+	}
+}
+
+// TestWorkloadMemoCounters pins the non-square workload memoization:
+// running Fig. 7 twice builds each tall-skinny workload once and serves
+// every later lookup from cache, rendering the same bytes.
+func TestWorkloadMemoCounters(t *testing.T) {
+	rec := obs.NewCollector()
+	c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Rec: rec})
+	first, err := c.Fig07()
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := rec.Counter("exp.workload.misses")
+	second, err := c.Fig07()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("exp.workload.misses"); got != missesAfterFirst {
+		t.Errorf("second Fig07 rebuilt workloads: misses %d -> %d", missesAfterFirst, got)
+	}
+	if rec.Counter("exp.workload.hits") == 0 {
+		t.Error("second Fig07 recorded no cache hits")
+	}
+	if first.String() != second.String() {
+		t.Error("memoized rerun changed the table")
+	}
+}

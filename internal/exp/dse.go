@@ -37,7 +37,9 @@ func (c *Context) Fig12() (*metrics.Table, error) {
 		opt := c.extensorOptions()
 		opt.Machine.DRAMBandwidth *= mult
 		opt.Intersect = kind
-		r, err := extensor.Run(extensor.OPDRT, w, opt)
+		// All 12 (bandwidth, unit) points share one recorded schedule per
+		// workload: neither knob shapes the tile stream.
+		r, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
 		if err != nil {
 			return 0, err
 		}
@@ -94,11 +96,15 @@ func (c *Context) Fig14() (*metrics.Table, error) {
 	times, err := par.Map(c.Opt.Parallel, len(parts)*len(entries), func(i int) (float64, error) {
 		opt := c.extensorOptions()
 		opt.Partition = parts[i/len(entries)]
-		w, err := c.Square(entries[i%len(entries)])
+		e := entries[i%len(entries)]
+		w, err := c.Square(e)
 		if err != nil {
 			return 0, err
 		}
-		r, err := extensor.Run(extensor.OPDRT, w, opt)
+		// The partition shapes the schedule, so each (partition, workload)
+		// pair records its own trace; repeated invocations (benchmarks, the
+		// default split shared with Fig. 12/15/16) replay it.
+		r, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
 		if err != nil {
 			return 0, err
 		}
@@ -128,12 +134,12 @@ func (c *Context) Fig15() (*metrics.Table, error) {
 			return cell{}, err
 		}
 		opt := c.extensorOptions()
-		greedy, err := extensor.Run(extensor.OPDRT, w, opt)
+		greedy, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
 		if err != nil {
 			return cell{}, err
 		}
 		opt.Strategy = core.Alternating
-		alt, err := extensor.Run(extensor.OPDRT, w, opt)
+		alt, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
 		if err != nil {
 			return cell{}, err
 		}
@@ -165,13 +171,16 @@ func (c *Context) Fig16() (*metrics.Table, error) {
 	}
 	startJs := []int{1, 2, 4, 8, 16}
 	times, err := par.Map(c.Opt.Parallel, len(entries)*len(startJs), func(i int) (float64, error) {
-		w, err := c.Square(entries[i/len(startJs)])
+		e := entries[i/len(startJs)]
+		w, err := c.Square(e)
 		if err != nil {
 			return 0, err
 		}
 		opt := c.extensorOptions()
 		opt.InitialSize = []int{1, startJs[i%len(startJs)], 1}
-		r, err := extensor.Run(extensor.OPDRT, w, opt)
+		// The starting size shapes the schedule: one trace per (startJ,
+		// workload), with the startJ=1 point shared with Fig. 12/15.
+		r, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
 		if err != nil {
 			return 0, err
 		}
@@ -253,20 +262,22 @@ func (c *Context) Sec65() (*metrics.Table, error) {
 		}
 		opt := c.extensorOptions()
 		opt.Extractor = extractor.ParallelExtractor
-		parRun, err := extensor.Run(extensor.OPDRT, w, opt)
+		// The parallel-vs-ideal pair retimes one shared trace: the
+		// extractor kind prices the schedule without shaping it.
+		parRun, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
 		if err != nil {
 			return cell{}, err
 		}
 		opt.Extractor = extractor.IdealExtractor
-		ideal, err := extensor.Run(extensor.OPDRT, w, opt)
+		ideal, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
 		if err != nil {
 			return cell{}, err
 		}
-		ex, err := extensor.Run(extensor.Original, w, opt)
+		ex, err := c.runExtensor(extensor.Original, e.Name, w, opt)
 		if err != nil {
 			return cell{}, err
 		}
-		op, err := extensor.Run(extensor.OP, w, opt)
+		op, err := c.runExtensor(extensor.OP, e.Name, w, opt)
 		if err != nil {
 			return cell{}, err
 		}

@@ -51,6 +51,13 @@ type Options struct {
 	// across Parallel workers where the dataflow allows. Task sequences are
 	// byte-identical either way, so every table is unchanged by this knob.
 	Stream bool
+	// NoTraceCache disables the record-once trace cache: sweep runners then
+	// re-run the full engine for every cell instead of recording each
+	// (workload, tiling config) schedule once and retiming it per machine
+	// point. Replay is bit-for-bit identical to the direct run, so every
+	// table is byte-identical either way; the knob exists for verification
+	// and timing comparisons.
+	NoTraceCache bool
 	// Rec, when non-nil, receives run metadata (each prepared workload's
 	// generator spec) and wall-clock phase spans for workload preparation,
 	// so the benchmark harness's metrics dump records how to rebuild every
@@ -63,22 +70,32 @@ func DefaultOptions() Options {
 	return Options{Scale: 16, MicroTile: 16}
 }
 
-// Context memoizes prepared workloads across experiments (building one
-// involves the exact reference SpMSpM). It is safe for concurrent use:
-// parallel runners may request the same workload and each entry is
+// Context memoizes prepared workloads and recorded engine traces across
+// experiments (building a workload involves the exact reference SpMSpM;
+// recording a trace involves a full engine run). It is safe for concurrent
+// use: parallel runners may request the same entry and each cell is
 // generated exactly once.
 type Context struct {
 	Opt Options
 
 	mu     sync.Mutex
-	spmspm map[string]*squareCell
+	spmspm map[string]*workloadCell
+	grams  map[string]*gramCell
+	traces map[traceKey]*traceCell
 }
 
-// squareCell is one memoized S² workload; the Once guarantees exactly one
-// generation even when concurrent runners race on the same entry.
-type squareCell struct {
+// workloadCell is one memoized workload; the Once guarantees exactly one
+// generation even when concurrent runners race on the same key.
+type workloadCell struct {
 	once sync.Once
 	w    *accel.Workload
+	err  error
+}
+
+// gramCell is the workloadCell analogue for 3-tensor Gram workloads.
+type gramCell struct {
+	once sync.Once
+	w    *accel.GramWorkload
 	err  error
 }
 
@@ -90,7 +107,12 @@ func NewContext(opt Options) *Context {
 	if opt.MicroTile < 1 {
 		opt.MicroTile = 16
 	}
-	return &Context{Opt: opt, spmspm: map[string]*squareCell{}}
+	return &Context{
+		Opt:    opt,
+		spmspm: map[string]*workloadCell{},
+		grams:  map[string]*gramCell{},
+		traces: map[traceKey]*traceCell{},
+	}
 }
 
 // forEntries fans f over the entries on the context's worker pool and
@@ -138,15 +160,55 @@ func (c *Context) CPU() cpuref.CPU {
 // generation completes; a generation error is memoized alongside the
 // workload (the run is aborting on it anyway).
 func (c *Context) Square(e workloads.Entry) (*accel.Workload, error) {
+	return c.workload(e.Name, func() (*accel.Workload, error) { return c.buildSquare(e) })
+}
+
+// workload returns the memoized workload for key, building it at most
+// once (singleflight: racing callers block on the builder's Once). Every
+// lookup is counted on the context's recorder as exp.workload.hits or
+// exp.workload.misses.
+func (c *Context) workload(key string, build func() (*accel.Workload, error)) (*accel.Workload, error) {
 	c.mu.Lock()
-	cell := c.spmspm[e.Name]
+	cell := c.spmspm[key]
 	if cell == nil {
-		cell = &squareCell{}
-		c.spmspm[e.Name] = cell
+		cell = &workloadCell{}
+		c.spmspm[key] = cell
 	}
 	c.mu.Unlock()
-	cell.once.Do(func() { cell.w, cell.err = c.buildSquare(e) })
+	built := false
+	cell.once.Do(func() {
+		built = true
+		cell.w, cell.err = build()
+	})
+	c.countLookup(built)
 	return cell.w, cell.err
+}
+
+// gramWorkload is workload for the 3-tensor Gram kernel's inputs.
+func (c *Context) gramWorkload(key string, build func() (*accel.GramWorkload, error)) (*accel.GramWorkload, error) {
+	c.mu.Lock()
+	cell := c.grams[key]
+	if cell == nil {
+		cell = &gramCell{}
+		c.grams[key] = cell
+	}
+	c.mu.Unlock()
+	built := false
+	cell.once.Do(func() {
+		built = true
+		cell.w, cell.err = build()
+	})
+	c.countLookup(built)
+	return cell.w, cell.err
+}
+
+func (c *Context) countLookup(built bool) {
+	rec := obs.OrNop(c.Opt.Rec)
+	if built {
+		rec.Count("exp.workload.misses", 1)
+	} else {
+		rec.Count("exp.workload.hits", 1)
+	}
 }
 
 // buildSquare generates one S² workload; called exactly once per entry.

@@ -48,12 +48,12 @@ func (c *Context) Fig01() (*metrics.Table, error) {
 			return out, err
 		}
 		out.mr = r.Traffic
-		r, err = extensor.Run(extensor.Original, w, exOpt)
+		r, err = c.runExtensor(extensor.Original, e.Name, w, exOpt)
 		if err != nil {
 			return out, err
 		}
 		out.ex = r.Traffic
-		r, err = extensor.Run(extensor.OPDRT, w, exOpt)
+		r, err = c.runExtensor(extensor.OPDRT, e.Name, w, exOpt)
 		if err != nil {
 			return out, err
 		}
@@ -103,7 +103,7 @@ func (c *Context) fig6Row(e workloads.Entry, variants []extensor.Variant) (fig6R
 	row := fig6Row{entry: e, cpu: cpuref.SpMSpM(w, c.CPU()), res: map[extensor.Variant]sim.Result{}}
 	opt := c.extensorOptions()
 	for _, v := range variants {
-		r, err := extensor.Run(v, w, opt)
+		r, err := c.runExtensor(v, e.Name, w, opt)
 		if err != nil {
 			return fig6Row{}, fmt.Errorf("%s/%v: %w", e.Name, v, err)
 		}
@@ -171,21 +171,27 @@ func (c *Context) Fig07() (*metrics.Table, error) {
 	suffixes := []string{"FᵀF", "FFᵀ"}
 	rows, err := par.Map(c.Opt.Parallel, len(entries)*len(suffixes), func(i int) (pairRow, error) {
 		e, suffix := entries[i/len(suffixes)], suffixes[i%len(suffixes)]
-		f, fT := e.TallSkinnyPair(c.Opt.Scale, 1<<7)
-		var w *accel.Workload
-		var err error
-		if suffix == "FᵀF" {
-			w, err = accel.NewWorkloadWith(e.Name+"-FtF", fT, f, c.workloadConfig())
-		} else {
-			w, err = accel.NewWorkloadWith(e.Name+"-FFt", f, fT, c.workloadConfig())
+		// Both orientations and every benchmark iteration reuse the
+		// memoized workload (generating the tall-skinny pair and its
+		// reference product dominates the figure's cost otherwise).
+		wkey := e.Name + "-FtF"
+		if suffix != "FᵀF" {
+			wkey = e.Name + "-FFt"
 		}
+		w, err := c.workload(wkey, func() (*accel.Workload, error) {
+			f, fT := e.TallSkinnyPair(c.Opt.Scale, 1<<7)
+			if suffix == "FᵀF" {
+				return accel.NewWorkloadWith(wkey, fT, f, c.workloadConfig())
+			}
+			return accel.NewWorkloadWith(wkey, f, fT, c.workloadConfig())
+		})
 		if err != nil {
 			return pairRow{}, err
 		}
 		cpu := cpuref.SpMSpM(w, c.CPU())
 		row := pairRow{name: e.Name, suffix: suffix, speedup: map[extensor.Variant]float64{}}
 		for _, v := range variants {
-			r, err := extensor.Run(v, w, opt)
+			r, err := c.runExtensor(v, wkey, w, opt)
 			if err != nil {
 				return pairRow{}, fmt.Errorf("%s-%s/%v: %w", e.Name, suffix, v, err)
 			}

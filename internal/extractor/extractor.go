@@ -64,23 +64,32 @@ func (c Cost) Record(rec obs.Recorder) {
 // TaskCost models the extraction cycles of one DRT task from the probe
 // statistics the core algorithm recorded.
 func TaskCost(kind Kind, t *core.Task) Cost {
-	if kind == IdealExtractor {
-		return Cost{}
-	}
 	var tiles int64
 	for oi, n := range t.OpTiles {
 		if t.Rebuilt == nil || t.Rebuilt[oi] {
 			tiles += n
 		}
 	}
-	agg := float64(t.ScanTiles) / Width
+	return CostScalars(kind, t.ScanTiles, t.Probes, tiles)
+}
+
+// CostScalars is TaskCost on the task's pre-reduced probe statistics:
+// scanTiles metadata words scanned by the Aggregate unit, probes growth
+// probes, and rebuiltTiles stored micro tiles across the task's rebuilt
+// macro tiles. Trace replay (accel.Retime) re-prices recorded schedules
+// through this, so it must stay arithmetically identical to TaskCost.
+func CostScalars(kind Kind, scanTiles int64, probes int, rebuiltTiles int64) Cost {
+	if kind == IdealExtractor {
+		return Cost{}
+	}
+	agg := float64(scanTiles) / Width
 	// Each growth probe additionally reads the segment-array words that
 	// bound the new slab; charge one vector read per probe.
-	agg += float64(t.Probes)
+	agg += float64(probes)
 	// MD build re-emits coordinate/size/pointer words for every micro
 	// tile of the rebuilt macro tiles, one word per cycle, three words per
 	// tile (Fig. 5's coordinate, size and pointer arrays).
-	md := float64(3 * tiles)
+	md := float64(3 * rebuiltTiles)
 	return Cost{Aggregate: agg, MDBuild: md}
 }
 

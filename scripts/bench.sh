@@ -13,6 +13,10 @@
 #                                       # exit 1 if any matching benchmark's
 #                                       # allocs/op exceeds 2.0x its committed
 #                                       # baseline (the ci tripwire)
+#   NS_TOL=0.5 scripts/bench.sh guard Fig12Replay
+#                                       # guard also fails when ns/op grows
+#                                       # more than NS_TOL (fraction, default
+#                                       # 0.20 = +20%) over the baseline
 #
 # The default mode writes BENCH_<YYYY-MM-DD>.json at the repo root (never
 # clobbering an existing snapshot — same-day reruns get an _2, _3, …
@@ -32,7 +36,8 @@ case "${1:-}" in
 esac
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1x}"
-threshold="${2:-2.0}" # guard mode: allowed allocs/op growth factor
+threshold="${2:-2.0}"   # guard mode: allowed allocs/op growth factor
+nstol="${NS_TOL:-0.20}" # guard mode: allowed fractional ns/op growth
 
 raw="$(mktemp)"
 fresh="$(mktemp)"
@@ -106,7 +111,7 @@ compare | guard)
   echo
   echo "baseline: $base"
   parse_snapshot "$base" > "$raw"
-  parse_snapshot "$fresh" | awk -v basefile="$raw" -v mode="$mode" -v thr="$threshold" -v pat="$pattern" '
+  parse_snapshot "$fresh" | awk -v basefile="$raw" -v mode="$mode" -v thr="$threshold" -v nstol="$nstol" -v pat="$pattern" '
     function pct(old, new) {
       if (old + 0 == 0) return "    n/a"
       return sprintf("%+6.1f%%", (new - old) * 100.0 / old)
@@ -129,6 +134,12 @@ compare | guard)
           $4 + 0 > allocs[name] * thr) {
         printf "bench.sh: %s allocs/op %s exceeds %.2gx committed baseline %s\n", \
           name, $4, thr, allocs[name] > "/dev/stderr"
+        bad = 1
+      }
+      if (mode == "guard" && ns[name] != "-" && $2 != "-" && ns[name] + 0 > 0 &&
+          $2 + 0 > ns[name] * (1 + nstol)) {
+        printf "bench.sh: %s ns/op %s exceeds committed baseline %s by more than %.0f%%\n", \
+          name, $2, ns[name], nstol * 100 > "/dev/stderr"
         bad = 1
       }
       seen[name] = 1
