@@ -12,6 +12,14 @@
 //	drtbench -exp all -parallel 8   # fan workload cells across 8 workers
 //	drtbench -list                  # list experiment ids
 //	drtbench -exp fig6 -metrics-out fig6.json
+//	drtbench -exp all -progress -listen :8080   # live ETA line + debug server
+//
+// -progress prints a once-a-second line to stderr with cells done/total,
+// engine tasks consumed, the nnz-weighted ETA and per-worker utilization;
+// -listen serves the same state over HTTP (/metrics in Prometheus text
+// format, /progress as JSON, /healthz, /debug/pprof/) while the run is in
+// flight; -log off|info|debug emits structured slog records (run start/
+// end, per-experiment timing, slow cells, cache summaries) on stderr.
 //
 // Performance knobs (-parallel, -grid, -stream, -trace-cache) change only
 // how fast the evaluation runs, never what it prints — every table is
@@ -45,6 +53,7 @@ import (
 	"drt/internal/cli"
 	"drt/internal/exp"
 	"drt/internal/obs"
+	"drt/internal/obs/httpserve"
 	"drt/internal/tiling"
 )
 
@@ -75,7 +84,10 @@ func main() {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		metricsOut = flag.String("metrics-out", "", "write all tables and run metadata as JSON to this file")
+		progress   = flag.Bool("progress", false, "print a live progress line (cells, tasks, nnz-weighted ETA) to stderr every second")
 	)
+	listen := cli.AddListenFlag()
+	logLevel := cli.AddLogFlag()
 	prof := cli.AddProfileFlags()
 	cli.GroupUsage("drtbench", "Performance knobs", "parallel", "grid", "stream", "trace-cache")
 	flag.Parse()
@@ -87,8 +99,13 @@ func main() {
 		return
 	}
 
+	logger, err := cli.Logger(*logLevel)
+	if err != nil {
+		cli.Usagef("drtbench: %v", err)
+	}
+
 	var rec *obs.Collector
-	if *metricsOut != "" {
+	if *metricsOut != "" || *listen != "" {
 		rec = obs.NewCollector()
 		rec.SetMeta("cmd", "drtbench")
 		rec.SetMeta("exp", *expID)
@@ -106,15 +123,44 @@ func main() {
 	if err != nil {
 		cli.Usagef("drtbench: %v", err)
 	}
-	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream, NoTraceCache: !*traceCache}
+
+	// Live telemetry: the progress tracker exists when either consumer
+	// (the stderr line or the debug server) asked for it; installing it as
+	// the process-wide sink makes the engine task loops tick it.
+	var prog *obs.Progress
+	if *progress || *listen != "" {
+		prog = obs.NewProgress()
+		obs.SetActive(prog)
+	}
+	if *listen != "" {
+		srv, err := httpserve.Start(*listen, httpserve.Options{Collector: rec, Progress: prog, Log: logger})
+		if err != nil {
+			cli.Fatalf("drtbench: -listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "drtbench: debug server on http://%s (/metrics /progress /healthz /debug/pprof/)\n", srv.Addr)
+		cli.AtExit(func() { srv.Close() })
+	}
+	if *progress {
+		stopLine := prog.StartPrinter(os.Stderr, time.Second)
+		cli.AtExit(stopLine)
+		defer stopLine()
+	}
+
+	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream, NoTraceCache: !*traceCache, Progress: prog}
 	if rec != nil {
 		opts.Rec = rec
+	}
+	if *logLevel != "" && *logLevel != "off" {
+		opts.Log = logger
 	}
 	c := exp.NewContext(opts)
 	ids := exp.Experiments()
 	if *expID != "all" {
 		ids = strings.Split(*expID, ",")
 	}
+	logger.Info("run start", "cmd", "drtbench", "exp", *expID, "scale", *scale,
+		"parallel", *parallel, "stream", *stream, "trace-cache", *traceCache)
+	runStart := time.Now()
 	var dump metricsDump
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -123,13 +169,16 @@ func main() {
 			cli.Usagef("drtbench: unknown experiment %q (use -list)", id)
 		}
 		span := rec.Begin(obs.CatPhase, "experiment")
+		prog.UnitStart(id)
 		start := time.Now()
 		table, err := f()
 		rec.End(span)
+		prog.UnitEnd(id)
 		if err != nil {
 			cli.Fatalf("drtbench: %s: %v", id, err)
 		}
 		elapsed := time.Since(start)
+		logger.Info("experiment done", "id", id, "seconds", elapsed.Seconds())
 		if *csv {
 			fmt.Printf("# %s\n%s\n", table.Title, table.CSV())
 		} else {
@@ -147,6 +196,18 @@ func main() {
 		}
 	}
 	stopProf()
+	if rec != nil {
+		// The cache-effectiveness summary that used to require scraping the
+		// metrics JSON: one structured line per run.
+		logger.Info("cache summary",
+			"workload_hits", rec.Counter("exp.workload.hits"),
+			"workload_misses", rec.Counter("exp.workload.misses"),
+			"trace_hits", rec.Counter("exp.tracecache.hits"),
+			"trace_misses", rec.Counter("exp.tracecache.misses"),
+			"boxcache_hits", rec.Counter("extract.boxcache.hits"),
+			"boxcache_misses", rec.Counter("extract.boxcache.misses"))
+	}
+	logger.Info("run end", "cmd", "drtbench", "seconds", time.Since(runStart).Seconds())
 	if *metricsOut != "" {
 		dump.Meta = rec.Snapshot().Meta
 		f, err := os.Create(*metricsOut)

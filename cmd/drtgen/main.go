@@ -14,9 +14,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"drt/internal/cli"
 	"drt/internal/metrics"
+	"drt/internal/obs"
+	"drt/internal/obs/httpserve"
 	"drt/internal/tiling"
 	"drt/internal/workloads"
 )
@@ -27,11 +31,34 @@ func main() {
 		scale     = flag.Int("scale", 16, "scale-down factor")
 		microTile = flag.Int("microtile", 16, "micro tile edge for the occupancy histogram")
 	)
+	listen := cli.AddListenFlag()
+	logLevel := cli.AddLogFlag()
 	prof := cli.AddProfileFlags()
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtgen")
 	defer stopProf()
+
+	logger, err := cli.Logger(*logLevel)
+	if err != nil {
+		cli.Usagef("drtgen: %v", err)
+	}
+	if *listen != "" {
+		prog := obs.NewProgress()
+		prog.SetPhase("generate")
+		obs.SetActive(prog)
+		srv, err := httpserve.Start(*listen, httpserve.Options{Progress: prog, Log: logger})
+		if err != nil {
+			cli.Fatalf("drtgen: -listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "drtgen: debug server on http://%s (/metrics /progress /healthz /debug/pprof/)\n", srv.Addr)
+		cli.AtExit(func() { srv.Close() })
+	}
+	logger.Info("run start", "cmd", "drtgen", "matrix", *name, "scale", *scale)
+	runStart := time.Now()
+	defer func() {
+		logger.Info("run end", "cmd", "drtgen", "seconds", time.Since(runStart).Seconds())
+	}()
 
 	if *name == "" {
 		t := metrics.NewTable(fmt.Sprintf("Catalog at scale %d", *scale),

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+// repoRoot holds the committed BENCH_*.json snapshots relative to this
+// package.
+const repoRoot = "../.."
+
+func TestLoadSnapshotsCommitted(t *testing.T) {
+	snaps, err := LoadSnapshots(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("expected >=3 committed snapshots, got %d", len(snaps))
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Date < snaps[i-1].Date {
+			t.Errorf("snapshots out of order: %s (%s) before %s (%s)",
+				snaps[i-1].File, snaps[i-1].Date, snaps[i].File, snaps[i].Date)
+		}
+	}
+	if snaps[0].Benchmarks[0].Name == "" || snaps[0].Benchmarks[0].NsPerOp <= 0 {
+		t.Errorf("first snapshot parsed badly: %+v", snaps[0].Benchmarks[0])
+	}
+}
+
+// TestCheckFlagsKnownRegressions pins the analyzer against the committed
+// history: Fig14Partition (14.44s -> 21.04s) and Fig17MicroTile (3.47s ->
+// 8.50s) drifted past the default +25% ns/op tolerance and must be
+// flagged.
+func TestCheckFlagsKnownRegressions(t *testing.T) {
+	snaps, err := LoadSnapshots(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trends := Analyze(snaps, nil)
+	tol := Tolerance{NsGrowth: 0.25, AllocFactor: 2.0}
+	flagged := map[string]string{}
+	for _, tr := range trends {
+		if r := tr.Regressed(tol); r != "" {
+			flagged[tr.Name] = r
+		}
+	}
+	for _, want := range []string{"BenchmarkFig14Partition", "BenchmarkFig17MicroTile"} {
+		if flagged[want] == "" {
+			t.Errorf("%s: not flagged as regressed (flagged set: %v)", want, flagged)
+		}
+	}
+}
+
+func TestAnalyzeMatchAndOrder(t *testing.T) {
+	snaps := []Snapshot{
+		{Date: "2026-01-01", Benchmarks: []Point{
+			{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 10},
+			{Name: "BenchmarkB", NsPerOp: 50, AllocsPerOp: 5},
+		}},
+		{Date: "2026-01-02", Benchmarks: []Point{
+			{Name: "BenchmarkA", NsPerOp: 90, AllocsPerOp: 10},
+			{Name: "BenchmarkB", NsPerOp: 200, AllocsPerOp: 40},
+		}},
+	}
+	trends := Analyze(snaps, regexp.MustCompile("BenchmarkB"))
+	if len(trends) != 1 || trends[0].Name != "BenchmarkB" {
+		t.Fatalf("match filter broken: %+v", trends)
+	}
+	tr := trends[0]
+	if tr.BestNs != 50 || tr.WorstNs != 200 || tr.Latest().NsPerOp != 200 {
+		t.Errorf("series stats wrong: best %v worst %v latest %v", tr.BestNs, tr.WorstNs, tr.Latest().NsPerOp)
+	}
+	r := tr.Regressed(Tolerance{NsGrowth: 0.25, AllocFactor: 2.0})
+	if r == "" {
+		t.Fatal("BenchmarkB (+300% ns, x8 allocs) not regressed")
+	}
+	// Both dimensions should be named.
+	if !regexp.MustCompile(`ns/op.*allocs`).MatchString(r) {
+		t.Errorf("regression reason %q missing a dimension", r)
+	}
+
+	trendsA := Analyze(snaps, regexp.MustCompile("BenchmarkA$"))
+	if got := trendsA[0].Regressed(Tolerance{NsGrowth: 0.25, AllocFactor: 2.0}); got != "" {
+		t.Errorf("BenchmarkA improved but flagged: %q", got)
+	}
+}
+
+func TestNsGrowthAgainstBest(t *testing.T) {
+	// Latest equal to best: growth 0 even when earlier points were worse.
+	tr := Trend{Name: "X", Points: []Point{{NsPerOp: 300}, {NsPerOp: 100}}, BestNs: 100, WorstNs: 300}
+	if g := tr.NsGrowth(); g != 0 {
+		t.Errorf("latest==best growth = %v, want 0", g)
+	}
+	tr2 := Trend{Name: "Y", Points: []Point{{NsPerOp: 100}, {NsPerOp: 150}}, BestNs: 100, WorstNs: 150}
+	if g := tr2.NsGrowth(); g < 0.499 || g > 0.501 {
+		t.Errorf("growth = %v, want 0.5", g)
+	}
+}

@@ -13,7 +13,11 @@
 // stdout (schema in README.md "Observability"); -trace-out writes the
 // run's span timeline as a Chrome trace-event file for chrome://tracing or
 // Perfetto; -metrics-out writes the JSON report to a file regardless of
-// the stdout format. Exit codes: 2 for usage errors, 1 for runtime errors.
+// the stdout format. -progress, -listen and -log add live telemetry on
+// stderr/HTTP without touching stdout: a once-a-second progress line, the
+// runtime debug server (/metrics, /progress, /healthz, /debug/pprof/) and
+// structured slog records. Exit codes: 2 for usage errors, 1 for runtime
+// errors.
 //
 // Performance knobs (-parallel, -grid, -stream, -trace-cache) change only
 // how fast the simulation runs, never its result: -parallel bounds worker
@@ -37,6 +41,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"drt"
 
@@ -49,6 +54,7 @@ import (
 	"drt/internal/exp"
 	"drt/internal/metrics"
 	"drt/internal/obs"
+	"drt/internal/obs/httpserve"
 	"drt/internal/sim"
 	"drt/internal/tiling"
 	"drt/internal/workloads"
@@ -76,12 +82,20 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout instead of text")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the run's spans")
 		metricsOut = flag.String("metrics-out", "", "write the JSON report to this file")
+		progress   = flag.Bool("progress", false, "print a live progress line (tasks consumed/extracted) to stderr every second")
 	)
+	listen := cli.AddListenFlag()
+	logLevel := cli.AddLogFlag()
 	prof := cli.AddProfileFlags()
 	cli.GroupUsage("drtsim", "Performance knobs", "parallel", "grid", "stream", "trace-cache")
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtsim")
+
+	logger, err := cli.Logger(*logLevel)
+	if err != nil {
+		cli.Usagef("drtsim: %v", err)
+	}
 
 	known := false
 	for _, a := range accelNames {
@@ -102,7 +116,7 @@ func main() {
 	// The collector is attached only when an observability output was
 	// requested, keeping the default run on the allocation-free path.
 	var rec *obs.Collector
-	if *jsonOut || *traceOut != "" || *metricsOut != "" {
+	if *jsonOut || *traceOut != "" || *metricsOut != "" || *listen != "" {
 		rec = obs.NewCollector()
 		rec.SetMeta("cmd", "drtsim")
 		rec.SetMeta("matrix", e.Name)
@@ -120,6 +134,30 @@ func main() {
 			rec.SetMeta(k, v)
 		}
 	}
+
+	// Live telemetry (stderr only — stdout is the golden-tested report).
+	var prog *obs.Progress
+	if *progress || *listen != "" {
+		prog = obs.NewProgress()
+		prog.SetPhase("generate")
+		obs.SetActive(prog)
+	}
+	if *listen != "" {
+		srv, err := httpserve.Start(*listen, httpserve.Options{Collector: rec, Progress: prog, Log: logger})
+		if err != nil {
+			cli.Fatalf("drtsim: -listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "drtsim: debug server on http://%s (/metrics /progress /healthz /debug/pprof/)\n", srv.Addr)
+		cli.AtExit(func() { srv.Close() })
+	}
+	if *progress {
+		stopLine := prog.StartPrinter(os.Stderr, time.Second)
+		cli.AtExit(stopLine)
+		defer stopLine()
+	}
+	logger.Info("run start", "cmd", "drtsim", "matrix", e.Name, "accel", *accelName,
+		"scale", *scale, "stream", *stream, "trace-cache", *traceCache)
+	runStart := time.Now()
 
 	genSpan := rec.Begin(obs.CatPhase, "generate")
 	a := e.Generate(*scale)
@@ -141,11 +179,14 @@ func main() {
 		rec.SetMeta("machine.dram_bandwidth_bytes_per_s", fmt.Sprint(m.DRAMBandwidth))
 	}
 
+	prog.SetPhase("simulate")
 	r, err := run(*accelName, w, m, *parallel, *stream, *traceCache, rec)
 	if err != nil {
 		cli.Fatalf("drtsim: %v", err)
 	}
 	stopProf()
+	logger.Info("run end", "cmd", "drtsim", "seconds", time.Since(runStart).Seconds(),
+		"tasks", r.Tasks, "cycles", r.Cycles())
 
 	if *jsonOut {
 		if err := writeJSONReport(os.Stdout, w, r, m, rec); err != nil {

@@ -19,6 +19,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"drt"
 
@@ -26,6 +28,8 @@ import (
 	"drt/internal/accel/extensor"
 	"drt/internal/cli"
 	"drt/internal/kernels"
+	"drt/internal/obs"
+	"drt/internal/obs/httpserve"
 	"drt/internal/workloads"
 )
 
@@ -34,14 +38,42 @@ func main() {
 		scale     = flag.Int("scale", 48, "workload scale-down factor")
 		microTile = flag.Int("microtile", 8, "micro tile edge")
 	)
+	listen := cli.AddListenFlag()
+	logLevel := cli.AddLogFlag()
 	prof := cli.AddProfileFlags()
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtvalidate")
 
+	logger, err := cli.Logger(*logLevel)
+	if err != nil {
+		cli.Usagef("drtvalidate: %v", err)
+	}
+	var prog *obs.Progress
+	if *listen != "" {
+		prog = obs.NewProgress()
+		prog.SetPhase("validate")
+		prog.AddCells(int64(len(workloads.Table3)), int64(len(workloads.Table3)))
+		obs.SetActive(prog)
+		srv, err := httpserve.Start(*listen, httpserve.Options{Progress: prog, Log: logger})
+		if err != nil {
+			cli.Fatalf("drtvalidate: -listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "drtvalidate: debug server on http://%s (/metrics /progress /healthz /debug/pprof/)\n", srv.Addr)
+		cli.AtExit(func() { srv.Close() })
+	}
+	logger.Info("run start", "cmd", "drtvalidate", "scale", *scale, "workloads", len(workloads.Table3))
+	runStart := time.Now()
+
 	failures := 0
 	for _, e := range workloads.Table3 {
-		if err := validate(e, *scale, *microTile); err != nil {
+		prog.UnitStart(e.Name)
+		start := time.Now()
+		err := validate(e, *scale, *microTile)
+		prog.UnitEnd(e.Name)
+		prog.CellDone(0, time.Since(start), 1)
+		logger.Info("workload validated", "matrix", e.Name, "seconds", time.Since(start).Seconds(), "err", err)
+		if err != nil {
 			fmt.Printf("FAIL  %-20s %v\n", e.Name, err)
 			failures++
 		} else {
@@ -49,6 +81,7 @@ func main() {
 		}
 	}
 	stopProf()
+	logger.Info("run end", "cmd", "drtvalidate", "seconds", time.Since(runStart).Seconds(), "failures", failures)
 	if failures > 0 {
 		cli.Fatalf("drtvalidate: %d of %d workloads failed", failures, len(workloads.Table3))
 	}

@@ -193,6 +193,10 @@ func runTasks(w *Workload, opt EngineOptions, trc *Trace) (sim.Result, error) {
 	rec := obs.OrNop(opt.Rec)
 	runSpan := rec.Begin(obs.CatPhase, "simulate")
 	defer rec.End(runSpan)
+	// prog is the process-wide live-telemetry sink; nil (the default, and
+	// the only state benchmarks ever see) makes every tick a no-op, so the
+	// task loop stays allocation-free.
+	prog := obs.Active()
 	k := w.Kernel(opt.CapA, opt.CapB)
 	if opt.ConstrainOutput {
 		k = w.KernelWithOutput(opt.CapA, opt.CapB, opt.CapO)
@@ -238,6 +242,7 @@ func runTasks(w *Workload, opt EngineOptions, trc *Trace) (sim.Result, error) {
 			break
 		}
 		res.Tasks++
+		prog.TaskDone(1)
 		if t.Overflow {
 			res.Overflows++
 		}
@@ -384,7 +389,11 @@ func runTasks(w *Workload, opt EngineOptions, trc *Trace) (sim.Result, error) {
 // sharded) producer/consumer when stream is set.
 func newTaskSource(k *core.Kernel, cfg *core.Config, stream bool, parallel int) (core.TaskSource, error) {
 	if stream {
-		return core.StreamTasks(k, cfg, core.StreamOptions{Workers: parallel})
+		so := core.StreamOptions{Workers: parallel}
+		if p := obs.Active(); p != nil {
+			so.OnEmit = p.TaskExtracted
+		}
+		return core.StreamTasks(k, cfg, so)
 	}
 	e, err := core.NewEnumerator(k, cfg)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"drt/internal/core"
 	"drt/internal/extractor"
 	"drt/internal/kernels"
+	"drt/internal/obs"
 	"drt/internal/sim"
 	"drt/internal/tensor"
 	"drt/internal/tiling"
@@ -138,6 +139,7 @@ func RunGram(w *GramWorkload, opt GramOptions) (sim.Result, error) {
 	pendingLoad := [2]int64{}
 	var extractTotal float64
 	var inputTraffic int64
+	prog := obs.Active()
 
 	for {
 		t, ok, err := src.Next()
@@ -148,6 +150,7 @@ func RunGram(w *GramWorkload, opt GramOptions) (sim.Result, error) {
 			break
 		}
 		res.Tasks++
+		prog.TaskDone(1)
 		for oi := 0; oi < 2; oi++ {
 			if t.Rebuilt[oi] {
 				pendingLoad[oi] = t.OpFootprint[oi]

@@ -1,18 +1,22 @@
-// Package cli carries the conventions shared by the four drt commands:
-// uniform error handling (usage errors print to stderr and exit 2, runtime
-// errors exit 1), and the -cpuprofile/-memprofile pprof flags every
-// command exposes. Registered cleanups (e.g. an in-flight CPU profile) run
-// before either exit path so diagnostics survive failed runs.
+// Package cli carries the conventions shared by the drt commands: uniform
+// error handling (usage errors print to stderr and exit 2, runtime errors
+// exit 1), the -cpuprofile/-memprofile pprof flags, the -listen runtime
+// debug-server flag and the -log structured-logging flag every command
+// exposes. Registered cleanups (e.g. an in-flight CPU profile) run before
+// either exit path so diagnostics survive failed runs.
 package cli
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sync"
+
+	"drt/internal/obs"
 )
 
 // Exit codes shared by all commands.
@@ -102,6 +106,36 @@ func printFlag(out io.Writer, f *flag.Flag) {
 		fmt.Fprintf(out, " (default %s)", f.DefValue)
 	}
 	fmt.Fprintln(out)
+}
+
+// AddListenFlag registers the -listen flag: an address the command binds
+// its runtime debug server to (internal/obs/httpserve) for the duration
+// of the run. Empty (the default) starts no server and constructs no
+// telemetry machinery.
+func AddListenFlag() *string {
+	return flag.String("listen", "",
+		"serve /metrics, /progress, /healthz and /debug/pprof/ on this address (e.g. :8080, :0) while running")
+}
+
+// AddLogFlag registers the -log flag selecting the structured (slog)
+// stderr log level: off (default), info, or debug.
+func AddLogFlag() *string {
+	return flag.String("log", "off", "structured run log level on stderr: off | info | debug")
+}
+
+// Logger resolves an -log flag value to a slog logger on stderr ("off"
+// yields a no-op logger, so call sites log unconditionally). Unknown
+// levels are a usage error.
+func Logger(level string) (*slog.Logger, error) {
+	switch level {
+	case "", "off":
+		return obs.NopLogger(), nil
+	case "info":
+		return obs.NewRunLogger(os.Stderr, slog.LevelInfo), nil
+	case "debug":
+		return obs.NewRunLogger(os.Stderr, slog.LevelDebug), nil
+	}
+	return nil, fmt.Errorf("unknown -log level %q (off | info | debug)", level)
 }
 
 // Profiles holds the -cpuprofile/-memprofile flag values.

@@ -62,6 +62,11 @@ type StreamOptions struct {
 	// Depth is the per-producer bounded-buffer budget in tasks
 	// (default 64).
 	Depth int
+	// OnEmit, when non-nil, is called once per task handed from a producer
+	// to the stream's buffers — the live "extractor running ahead" signal.
+	// It must be safe for concurrent calls and cheap (an atomic tick);
+	// task delivery order and content are unaffected.
+	OnEmit func()
 }
 
 // defaultStreamDepth is the per-producer buffered task budget.
@@ -86,11 +91,12 @@ func StreamTasks(k *Kernel, cfg *Config, opt StreamOptions) (TaskSource, error) 
 			recycler: recycler{free: make(chan *Task, depth+2)},
 			tasks:    make(chan *Task, depth),
 			stop:     make(chan struct{}),
+			onEmit:   opt.OnEmit,
 		}
 		go s.produce(e)
 		return s, nil
 	}
-	return newShardStream(k, cfg, opt.Workers, depth)
+	return newShardStream(k, cfg, opt.Workers, depth, opt.OnEmit)
 }
 
 // recycler is the shared free-list plumbing of both stream kinds.
@@ -125,9 +131,10 @@ func (r *recycler) recycle() {
 // the enumerator and the consumer overlaps simulation with extraction.
 type singleStream struct {
 	recycler
-	tasks chan *Task
-	stop  chan struct{}
-	once  sync.Once
+	tasks  chan *Task
+	stop   chan struct{}
+	once   sync.Once
+	onEmit func()
 	// err and stats are written by the producer before tasks is closed;
 	// the close is the happens-before edge for consumer reads.
 	err   error
@@ -151,6 +158,9 @@ func (s *singleStream) produce(e *Enumerator) {
 		t.cloneInto(out)
 		select {
 		case s.tasks <- out:
+			if s.onEmit != nil {
+				s.onEmit()
+			}
 		case <-s.stop:
 			return
 		}
@@ -198,10 +208,11 @@ type spanWork struct {
 // one.
 type shardStream struct {
 	recycler
-	spans chan *spanWork // planner → consumer, in planning order
-	work  chan *spanWork // planner → workers, same order (FIFO claim)
-	stop  chan struct{}
-	once  sync.Once
+	spans  chan *spanWork // planner → consumer, in planning order
+	work   chan *spanWork // planner → workers, same order (FIFO claim)
+	stop   chan struct{}
+	once   sync.Once
+	onEmit func()
 
 	curSpan *spanWork
 	done    bool
@@ -212,7 +223,7 @@ type shardStream struct {
 	boxHits, boxMisses atomic.Int64
 }
 
-func newShardStream(k *Kernel, cfg *Config, workers, depth int) (*shardStream, error) {
+func newShardStream(k *Kernel, cfg *Config, workers, depth int, onEmit func()) (*shardStream, error) {
 	plan, err := NewEnumerator(k, cfg)
 	if err != nil {
 		return nil, err
@@ -231,6 +242,7 @@ func newShardStream(k *Kernel, cfg *Config, workers, depth int) (*shardStream, e
 		spans:    make(chan *spanWork, inflight),
 		work:     make(chan *spanWork, inflight),
 		stop:     make(chan struct{}),
+		onEmit:   onEmit,
 	}
 	go s.planSpans(plan, depth)
 	for _, se := range shards {
@@ -314,6 +326,9 @@ func (s *shardStream) runSpan(e *Enumerator, sw *spanWork) {
 func (s *shardStream) send(sw *spanWork, t *Task) bool {
 	select {
 	case sw.tasks <- t:
+		if s.onEmit != nil {
+			s.onEmit()
+		}
 		return true
 	case <-s.stop:
 		return false

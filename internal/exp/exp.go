@@ -11,9 +11,12 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"drt/internal/accel"
 	"drt/internal/cpuref"
@@ -63,6 +66,19 @@ type Options struct {
 	// so the benchmark harness's metrics dump records how to rebuild every
 	// synthetic input exactly.
 	Rec obs.Recorder
+	// Progress, when non-nil, receives live-run telemetry: every runner
+	// registers its (workload × config) cells with their scaled-nnz
+	// weights before dispatch and reports each completion, driving the
+	// nnz-weighted ETA and per-worker utilization the debug server and
+	// -progress line expose. Nil keeps the dispatch path timing-free.
+	Progress *obs.Progress
+	// Log, when non-nil, receives structured run events: per-cell timings
+	// over SlowCell at Info (the long-tail tile watch), every cell at
+	// Debug. Nil disables logging with no overhead.
+	Log *slog.Logger
+	// SlowCell is the per-cell wall-time threshold above which a cell is
+	// logged at Info (default 5s; only consulted when Log is set).
+	SlowCell time.Duration
 }
 
 // DefaultOptions is the configuration drtbench uses.
@@ -116,11 +132,52 @@ func NewContext(opt Options) *Context {
 }
 
 // forEntries fans f over the entries on the context's worker pool and
-// returns the per-entry results in entry order.
+// returns the per-entry results in entry order. With a Progress attached
+// the cells are registered up front with their scaled-nnz weights (the
+// same non-zero totals the tiling summaries' prefix sums carry), so the
+// live ETA weighs a heavy long-tail matrix by its actual work, not as one
+// uniform cell; with a Log attached, cells slower than SlowCell surface
+// at Info.
 func forEntries[T any](c *Context, entries []workloads.Entry, f func(e workloads.Entry) (T, error)) ([]T, error) {
-	return par.Map(c.Opt.Parallel, len(entries), func(i int) (T, error) {
-		return f(entries[i])
-	})
+	run := func(i int) (T, error) { return f(entries[i]) }
+	if log := c.Opt.Log; log != nil {
+		slow := c.Opt.SlowCell
+		if slow <= 0 {
+			slow = 5 * time.Second
+		}
+		run = func(i int) (T, error) {
+			start := time.Now()
+			v, err := f(entries[i])
+			d := time.Since(start)
+			lvl := slog.LevelDebug
+			if d >= slow {
+				lvl = slog.LevelInfo
+			}
+			log.Log(context.Background(), lvl, "cell done", "entry", entries[i].Name, "seconds", d.Seconds(), "err", err)
+			return v, err
+		}
+	}
+	if c.Opt.Progress == nil {
+		return par.Map(c.Opt.Parallel, len(entries), run)
+	}
+	weights := make([]int64, len(entries))
+	for i, e := range entries {
+		weights[i] = cellWeight(e, c.Opt.Scale)
+	}
+	return par.MapTracked(c.Opt.Progress, weights, c.Opt.Parallel, len(entries), run)
+}
+
+// cellWeight is one catalog entry's a-priori work weight: its scaled
+// non-zero count (dimensions shrink by scale, occupancy by scale²), the
+// quantity the tiling summaries' nnz prefixes total once the workload is
+// built. A floor of 1 keeps empty-looking cells from vanishing out of the
+// ETA denominator.
+func cellWeight(e workloads.Entry, scale int) int64 {
+	w := int64(e.NNZ) / int64(scale*scale)
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Machine returns the accelerator machine with buffers scaled to the

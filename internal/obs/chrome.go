@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"time"
 )
 
 // Chrome trace-event export: the collector's spans serialize to the
@@ -35,16 +36,28 @@ type chromeTrace struct {
 
 // WriteChromeTrace serializes every retained span as a Chrome trace-event
 // file. Run metadata lands in otherData; a note there records that the
-// simulated process's "microseconds" are cycles.
+// simulated process's "microseconds" are cycles. Wall spans still open at
+// export time — the signature of an aborted or hung run — are emitted too,
+// closed at the export instant and tagged args.unterminated, so the trace
+// of a run that never finished still shows where it was stuck.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	trace := chromeTrace{DisplayTimeUnit: "ns", OtherData: map[string]string{
 		"clock.pid1": "simulated cycles (1 ts = 1 cycle)",
 		"clock.pid2": "wall clock microseconds",
 	}}
 	var spans []spanRec
+	var open []spanRec
 	if c != nil {
+		nowUS := float64(time.Since(c.start).Microseconds())
 		c.mu.Lock()
 		spans = append(spans, c.spans...)
+		for _, s := range c.openOrdered() {
+			s.dur = nowUS - s.start
+			if s.dur < 0 {
+				s.dur = 0
+			}
+			open = append(open, s)
+		}
 		for _, kv := range c.meta {
 			trace.OtherData[kv.k] = kv.v
 		}
@@ -77,6 +90,17 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		}
 		// Chrome drops zero-duration complete events; clamp to a visible
 		// sliver instead of losing the span.
+		if ev.Dur <= 0 {
+			ev.Dur = 0.001
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ev)
+	}
+	for _, s := range open {
+		ev := chromeEvent{
+			Name: s.name, Cat: s.cat, Ph: "X", Ts: s.start, Dur: s.dur,
+			Pid: chromePidWall, Tid: s.track,
+			Args: map[string]string{"unterminated": "true"},
+		}
 		if ev.Dur <= 0 {
 			ev.Dur = 0.001
 		}

@@ -186,6 +186,24 @@ func (c *Collector) SetMeta(key, value string) {
 	c.mu.Unlock()
 }
 
+// openOrdered returns the still-open wall spans in Begin order (SpanIDs
+// are issued monotonically). Must be called with c.mu held.
+func (c *Collector) openOrdered() []spanRec {
+	if len(c.open) == 0 {
+		return nil
+	}
+	ids := make([]int64, 0, len(c.open))
+	for id := range c.open {
+		ids = append(ids, int64(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]spanRec, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.open[SpanID(id)])
+	}
+	return out
+}
+
 // Counter returns the current value of a named counter.
 func (c *Collector) Counter(name string) int64 {
 	if c == nil {

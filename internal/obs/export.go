@@ -30,12 +30,21 @@ type HistStat struct {
 // metadata, counters and histogram aggregates. It marshals directly to the
 // JSON schema documented in README.md ("Observability").
 type Snapshot struct {
-	Meta         map[string]string   `json:"meta,omitempty"`
-	Counters     map[string]int64    `json:"counters,omitempty"`
-	Histograms   map[string]HistStat `json:"histograms,omitempty"`
-	Spans        int                 `json:"spans"`
-	DroppedSpans int64               `json:"dropped_spans,omitempty"`
+	Meta       map[string]string   `json:"meta,omitempty"`
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Histograms map[string]HistStat `json:"histograms,omitempty"`
+	Spans      int                 `json:"spans"`
+	// OpenSpans counts wall-clock spans begun but not yet ended at
+	// snapshot time. Nonzero in a post-run export means the run aborted or
+	// hung inside those phases; OpenSpanNames lists them (oldest first,
+	// capped) so the stuck phase is identifiable from the JSON alone.
+	OpenSpans     int      `json:"open_spans,omitempty"`
+	OpenSpanNames []string `json:"open_span_names,omitempty"`
+	DroppedSpans  int64    `json:"dropped_spans,omitempty"`
 }
+
+// maxOpenSpanNames caps the open-span name list in a snapshot.
+const maxOpenSpanNames = 32
 
 // Snapshot returns a copy of the collector's aggregate state.
 func (c *Collector) Snapshot() Snapshot {
@@ -74,6 +83,15 @@ func (c *Collector) Snapshot() Snapshot {
 		}
 	}
 	snap.Spans = len(c.spans)
+	snap.OpenSpans = len(c.open)
+	if len(c.open) > 0 {
+		for _, s := range c.openOrdered() {
+			if len(snap.OpenSpanNames) >= maxOpenSpanNames {
+				break
+			}
+			snap.OpenSpanNames = append(snap.OpenSpanNames, s.cat+":"+s.name)
+		}
+	}
 	snap.DroppedSpans = c.dropped
 	return snap
 }

@@ -1,0 +1,118 @@
+// Package httpserve is the runtime debug server of the DRT commands: a
+// tiny HTTP endpoint (-listen on every cmd) that exposes a running
+// simulation's live state — Prometheus-format metrics from the obs
+// collector, a JSON progress snapshot with the nnz-weighted ETA, a
+// health probe, and net/http/pprof — so a multi-hour full-scale run is
+// observable while it runs instead of only after it exits. The server is
+// strictly read-only over shared state that is already concurrency-safe
+// (Collector and Progress snapshots), so serving costs the run nothing
+// beyond the requests actually made; when no -listen flag is given none
+// of this machinery is constructed and the hot paths keep their
+// allocation-free no-op instrumentation.
+package httpserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"drt/internal/obs"
+)
+
+// Options carries the state the server exposes. Both fields are optional:
+// a nil Collector serves empty metrics, a nil Progress serves an unknown
+// (-1 ETA) progress snapshot — the endpoints stay well-formed either way.
+type Options struct {
+	// Collector feeds /metrics (and the counters section of /progress).
+	Collector *obs.Collector
+	// Progress feeds /progress and the drt_progress_* metric families.
+	Progress *obs.Progress
+	// Log, when non-nil, records server lifecycle events.
+	Log *slog.Logger
+}
+
+// Server is a running debug server.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr  string
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Handler returns the debug mux: /metrics, /progress, /healthz, a tiny
+// index on /, and the net/http/pprof suite under /debug/pprof/. Exposed
+// separately from Start so tests can drive it through httptest.
+func Handler(opt Options) http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime=%s\n", time.Since(start).Round(time.Millisecond))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := opt.Collector.WriteProm(w); err != nil {
+			return
+		}
+		opt.Progress.WriteProm(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(opt.Progress.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "drt debug server\n\n"+
+			"/metrics       Prometheus text format (counters, histograms, progress)\n"+
+			"/progress      JSON progress snapshot (cells, tasks, nnz-weighted ETA)\n"+
+			"/healthz       liveness probe\n"+
+			"/debug/pprof/  Go runtime profiles\n")
+	})
+	return mux
+}
+
+// Start binds addr (e.g. ":8080" or ":0") and serves the debug handler on
+// a background goroutine until Close. The returned server's Addr is the
+// concrete bound address.
+func Start(addr string, opt Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		Addr:  ln.Addr().String(),
+		ln:    ln,
+		srv:   &http.Server{Handler: Handler(opt)},
+		start: time.Now(),
+	}
+	if opt.Log != nil {
+		opt.Log.Info("debug server listening", "addr", s.Addr)
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops the server and releases its listener. Safe to call more
+// than once.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

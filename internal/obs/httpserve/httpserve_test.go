@@ -1,0 +1,136 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"drt/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, path string) (*http.Response, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	res := rr.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	rec := obs.NewCollector()
+	rec.SetMeta("cmd", "test")
+	rec.Count("exp.workload.hits", 2)
+	prog := obs.NewProgress()
+	prog.SetPhase("fig6")
+	prog.AddCells(10, 100)
+	prog.CellDone(0, time.Millisecond, 30)
+	prog.TaskDone(42)
+	h := Handler(Options{Collector: rec, Progress: prog})
+
+	res, body := get(t, h, "/healthz")
+	if res.StatusCode != 200 || !strings.HasPrefix(body, "ok uptime=") {
+		t.Errorf("/healthz = %d %q", res.StatusCode, body)
+	}
+
+	res, body = get(t, h, "/metrics")
+	if res.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		`drt_run_info{cmd="test"} 1`,
+		"drt_exp_workload_hits 2",
+		"drt_progress_cells_done 1",
+		"drt_progress_tasks_done 42",
+		"drt_progress_eta_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	res, body = get(t, h, "/progress")
+	if res.StatusCode != 200 {
+		t.Fatalf("/progress status %d", res.StatusCode)
+	}
+	var snap obs.ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if snap.Phase != "fig6" || snap.CellsDone != 1 || snap.CellsTotal != 10 || snap.TasksDone != 42 {
+		t.Errorf("/progress snapshot = %+v", snap)
+	}
+
+	res, body = get(t, h, "/")
+	if res.StatusCode != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", res.StatusCode, body)
+	}
+	res, _ = get(t, h, "/nope")
+	if res.StatusCode != 404 {
+		t.Errorf("unknown path status = %d, want 404", res.StatusCode)
+	}
+	res, body = get(t, h, "/debug/pprof/cmdline")
+	if res.StatusCode != 200 || body == "" {
+		t.Errorf("pprof cmdline = %d %q", res.StatusCode, body)
+	}
+}
+
+// TestEndpointsNilState: with neither a collector nor progress attached
+// every endpoint still serves well-formed output.
+func TestEndpointsNilState(t *testing.T) {
+	h := Handler(Options{})
+	res, body := get(t, h, "/metrics")
+	if res.StatusCode != 200 || !strings.Contains(body, "drt_spans 0") {
+		t.Errorf("/metrics nil state = %d %q", res.StatusCode, body)
+	}
+	res, body = get(t, h, "/progress")
+	if res.StatusCode != 200 {
+		t.Fatalf("/progress status %d", res.StatusCode)
+	}
+	var snap obs.ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ETASeconds != -1 {
+		t.Errorf("nil-progress ETA = %v, want -1", snap.ETASeconds)
+	}
+}
+
+// TestStartServes exercises the real listener path on :0 — the same shape
+// the acceptance check uses (drtbench -listen :0).
+func TestStartServes(t *testing.T) {
+	prog := obs.NewProgress()
+	prog.AddCells(2, 2)
+	srv, err := Start("127.0.0.1:0", Options{Progress: prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := http.Get("http://" + srv.Addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Errorf("live /healthz status %d", res.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	srv.Close() // idempotent
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil close: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// These tests pin the open-span export fix: spans begun but never ended
+// (an aborted or hung run) must be visible in both export formats instead
+// of silently dropped.
+
+func TestSnapshotOpenSpans(t *testing.T) {
+	c := NewCollector()
+	a := c.Begin(CatPhase, "first")
+	c.Begin("engine", "second")
+	c.Begin(CatPhase, "third")
+	c.End(a)
+
+	snap := c.Snapshot()
+	if snap.Spans != 1 {
+		t.Errorf("closed spans = %d, want 1", snap.Spans)
+	}
+	if snap.OpenSpans != 2 {
+		t.Errorf("open spans = %d, want 2", snap.OpenSpans)
+	}
+	// Begin order, cat:name form.
+	want := []string{"engine:second", "phase:third"}
+	if len(snap.OpenSpanNames) != 2 || snap.OpenSpanNames[0] != want[0] || snap.OpenSpanNames[1] != want[1] {
+		t.Errorf("open span names = %v, want %v", snap.OpenSpanNames, want)
+	}
+
+	// The JSON export carries the flag too.
+	var sb strings.Builder
+	if err := c.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.OpenSpans != 2 || len(decoded.OpenSpanNames) != 2 {
+		t.Errorf("JSON round-trip open spans = %d names %v", decoded.OpenSpans, decoded.OpenSpanNames)
+	}
+}
+
+func TestSnapshotOpenSpanNamesCapped(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < maxOpenSpanNames+10; i++ {
+		c.Begin(CatPhase, "leak")
+	}
+	snap := c.Snapshot()
+	if snap.OpenSpans != maxOpenSpanNames+10 {
+		t.Errorf("open spans = %d, want %d", snap.OpenSpans, maxOpenSpanNames+10)
+	}
+	if len(snap.OpenSpanNames) != maxOpenSpanNames {
+		t.Errorf("open span names = %d, want capped at %d", len(snap.OpenSpanNames), maxOpenSpanNames)
+	}
+}
+
+func TestChromeTraceUnterminatedSpans(t *testing.T) {
+	c := NewCollector()
+	done := c.Begin(CatPhase, "finished")
+	c.End(done)
+	c.Begin(CatPhase, "stuck")
+
+	var sb strings.Builder
+	if err := c.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &trace); err != nil {
+		t.Fatal(err)
+	}
+	var sawFinished, sawStuck bool
+	for _, ev := range trace.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.Name == "finished":
+			sawFinished = true
+			if ev.Args["unterminated"] != "" {
+				t.Errorf("closed span tagged unterminated: %+v", ev)
+			}
+		case ev.Ph == "X" && ev.Name == "stuck":
+			sawStuck = true
+			if ev.Args["unterminated"] != "true" {
+				t.Errorf("open span missing unterminated tag: %+v", ev)
+			}
+			if ev.Dur <= 0 {
+				t.Errorf("open span has non-positive dur %v", ev.Dur)
+			}
+			if ev.Pid != chromePidWall {
+				t.Errorf("open span on pid %d, want wall pid %d", ev.Pid, chromePidWall)
+			}
+		}
+	}
+	if !sawFinished || !sawStuck {
+		t.Errorf("trace missing spans: finished=%v stuck=%v", sawFinished, sawStuck)
+	}
+}

@@ -11,6 +11,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"drt/internal/obs"
 )
 
 // Workers resolves a -parallel style worker-count setting: values below 1
@@ -34,6 +37,39 @@ func Workers(n int) int {
 // With workers == 1 (or n < 2) no goroutines are spawned and f runs
 // inline, reproducing the pre-pool sequential behavior bit for bit.
 func Map[T any](workers, n int, f func(i int) (T, error)) ([]T, error) {
+	return mapObserved(workers, n, f, nil)
+}
+
+// MapTracked is Map with live progress reporting: before dispatch it
+// registers the n cells (and, when weights is non-nil, their summed
+// weights — typically scaled nnz, the ETA's work unit) on p, and each
+// completed cell reports the worker that ran it, its wall time and its
+// weight. Results, ordering and error semantics are exactly Map's; a nil
+// p (or nil tracker inside a disabled run) falls back to Map with zero
+// overhead, keeping the no-telemetry path timing-free.
+func MapTracked[T any](p *obs.Progress, weights []int64, workers, n int, f func(i int) (T, error)) ([]T, error) {
+	if p == nil {
+		return mapObserved(workers, n, f, nil)
+	}
+	var total int64
+	weight := func(int) int64 { return 0 }
+	if weights != nil {
+		for _, w := range weights {
+			total += w
+		}
+		weight = func(i int) int64 { return weights[i] }
+	}
+	p.AddCells(int64(n), total)
+	return mapObserved(workers, n, f, func(i, worker int, busy time.Duration) {
+		p.CellDone(worker, busy, weight(i))
+	})
+}
+
+// mapObserved is the dispatch loop behind Map and MapTracked. onCell, when
+// non-nil, is invoked after every successful cell with the cell index, the
+// worker that ran it and the cell's wall-clock duration; it must be safe
+// for concurrent calls. The clock is only read when onCell is set.
+func mapObserved[T any](workers, n int, f func(i int) (T, error), onCell func(i, worker int, busy time.Duration)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -42,9 +78,20 @@ func Map[T any](workers, n int, f func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	run := func(i, worker int) (T, error) {
+		if onCell == nil {
+			return f(i)
+		}
+		start := time.Now()
+		v, err := f(i)
+		if err == nil {
+			onCell(i, worker, time.Since(start))
+		}
+		return v, err
+	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			v, err := f(i)
+			v, err := run(i, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -65,14 +112,14 @@ func Map[T any](workers, n int, f func(i int) (T, error)) ([]T, error) {
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i >= n || failed.Load() {
 					return
 				}
-				v, err := f(i)
+				v, err := run(i, worker)
 				if err != nil {
 					mu.Lock()
 					if i < errIdx {
@@ -84,7 +131,7 @@ func Map[T any](workers, n int, f func(i int) (T, error)) ([]T, error) {
 				}
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if lowErr != nil {

@@ -1,0 +1,101 @@
+package par
+
+import (
+	"errors"
+	"testing"
+
+	"drt/internal/obs"
+)
+
+func TestMapTrackedReportsProgress(t *testing.T) {
+	p := obs.NewProgress()
+	weights := []int64{5, 10, 15, 20}
+	got, err := MapTracked(p, weights, 2, len(weights), func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	s := p.Snapshot()
+	if s.CellsDone != 4 || s.CellsTotal != 4 {
+		t.Errorf("cells %d/%d, want 4/4", s.CellsDone, s.CellsTotal)
+	}
+	if s.WorkDone != 50 || s.WorkTotal != 50 {
+		t.Errorf("work %d/%d, want 50/50", s.WorkDone, s.WorkTotal)
+	}
+	if s.ETASeconds != 0 {
+		t.Errorf("eta at completion = %v, want 0", s.ETASeconds)
+	}
+	var cells int64
+	for _, w := range s.Workers {
+		cells += w.Cells
+	}
+	if cells != 4 {
+		t.Errorf("worker cells sum = %d, want 4", cells)
+	}
+}
+
+// TestMapTrackedNilProgress: a nil tracker must behave exactly like Map.
+func TestMapTrackedNilProgress(t *testing.T) {
+	got, err := MapTracked[int](nil, nil, 4, 3, func(i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("results = %v", got)
+	}
+}
+
+// TestMapTrackedNilWeights: without weights the cells register with zero
+// work, so the ETA falls back to the cell rate.
+func TestMapTrackedNilWeights(t *testing.T) {
+	p := obs.NewProgress()
+	if _, err := MapTracked(p, nil, 1, 5, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if s.CellsDone != 5 || s.CellsTotal != 5 || s.WorkTotal != 0 {
+		t.Errorf("snapshot = %+v, want 5/5 cells with no work units", s)
+	}
+}
+
+// TestMapTrackedErrorSemantics: the lowest-index error surfaces exactly as
+// with Map, and failed cells never tick the done counters.
+func TestMapTrackedErrorSemantics(t *testing.T) {
+	p := obs.NewProgress()
+	boom := errors.New("boom")
+	_, err := MapTracked(p, []int64{1, 1, 1, 1}, 2, 4, func(i int) (int, error) {
+		if i == 1 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	s := p.Snapshot()
+	if s.CellsTotal != 4 {
+		t.Errorf("cells total = %d, want 4 (registered up front)", s.CellsTotal)
+	}
+	if s.CellsDone >= 4 {
+		t.Errorf("cells done = %d, want < 4 (the failed cell must not count)", s.CellsDone)
+	}
+}
+
+// TestMapTrackedSequential pins the workers==1 inline path: everything
+// lands on worker slot 0.
+func TestMapTrackedSequential(t *testing.T) {
+	p := obs.NewProgress()
+	if _, err := MapTracked(p, []int64{2, 3}, 1, 2, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Snapshot()
+	if len(s.Workers) != 1 || s.Workers[0].Worker != 0 || s.Workers[0].Cells != 2 {
+		t.Errorf("workers = %+v, want all cells on worker 0", s.Workers)
+	}
+}

@@ -18,6 +18,21 @@
 #                                       # more than NS_TOL (fraction, default
 #                                       # 0.20 = +20%) over the baseline
 #
+# Guard tolerances (what ci runs, and why):
+#   allocs/op factor (arg 2, default 2.0) — allocs at -benchtime 1x are
+#     deterministic, so 2.0x only trips when a hot path genuinely
+#     reacquired per-task allocation; applies to every guarded benchmark.
+#   NS_TOL (default 0.20 local, 3.0 in ci) — fractional ns/op growth over
+#     the newest committed snapshot. Local runs use the tight default;
+#     ci's shared runners are noisy, so it guards only order-of-magnitude
+#     timing cliffs (e.g. a sweep falling off the trace cache).
+#   ci's guarded set is Sec65Extraction|Fig12Replay (allocation-sensitive
+#     extraction/replay paths) plus Fig14Partition|Fig17MicroTile, the two
+#     benchmarks whose committed history already shows ns/op drift — the
+#     guard pins them against the *newest* snapshot so further drift
+#     fails, while `drtmetrics -check` reports the historical trend across
+#     all snapshots (see cmd/drtmetrics).
+#
 # The default mode writes BENCH_<YYYY-MM-DD>.json at the repo root (never
 # clobbering an existing snapshot — same-day reruns get an _2, _3, …
 # suffix): run metadata plus one entry per benchmark (ns/op, bytes/op,
