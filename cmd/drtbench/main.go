@@ -21,18 +21,21 @@
 // flight; -log off|info|debug emits structured slog records (run start/
 // end, per-experiment timing, slow cells, cache summaries) on stderr.
 //
-// Performance knobs (-parallel, -grid, -stream, -trace-cache) change only
-// how fast the evaluation runs, never what it prints — every table is
-// byte-identical at any setting. -parallel bounds the worker goroutines
-// used for independent (workload × configuration) cells inside each
-// experiment (results are reassembled in input order, so -parallel 1
-// reproduces the sequential run exactly); -grid selects the micro-tile
+// Performance knobs (-parallel, -sched, -grid, -stream, -trace-cache)
+// change only how fast the evaluation runs, never what it prints — every
+// table is byte-identical at any setting. -parallel bounds the worker
+// goroutines used for independent (workload × configuration) cells inside
+// each experiment (results are reassembled in input order, so -parallel 1
+// reproduces the sequential run exactly); -sched picks the dispatch order
+// across those cells (lpt, the default, starts the heaviest cells first
+// with idle workers stealing the largest remaining one; fifo is plain
+// index order — see DESIGN.md "Scheduling"); -grid selects the micro-tile
 // grid representation; -stream pipelines DRT task extraction alongside
 // simulation, sharding the extraction across -parallel workers (see
 // DESIGN.md "Extraction pipeline"); -trace-cache (on by default) records
-// each (workload, tiling config) schedule once and retimes it for every
-// sweep point that only changes machine speed or pricing knobs (see
-// DESIGN.md "Trace record/replay").
+// each reused (workload, tiling config) schedule on its second request
+// and retimes it for every later sweep point that only changes machine
+// speed or pricing knobs (see DESIGN.md "Trace record/replay").
 //
 // -metrics-out writes every experiment's table as structured JSON together
 // with the run metadata (scale, workload generator specs, VCS revision),
@@ -54,6 +57,7 @@ import (
 	"drt/internal/exp"
 	"drt/internal/obs"
 	"drt/internal/obs/httpserve"
+	"drt/internal/par"
 	"drt/internal/tiling"
 )
 
@@ -80,7 +84,8 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines per experiment (1 = sequential)")
 		gridMode   = flag.String("grid", "auto", "micro-tile grid representation: auto | dense | compressed")
 		stream     = flag.Bool("stream", false, "pipeline DRT task extraction alongside simulation, sharded across -parallel workers")
-		traceCache = flag.Bool("trace-cache", true, "record each (workload, tiling config) schedule once and retime it per sweep point (bit-identical tables)")
+		sched      = flag.String("sched", "lpt", "cell dispatch order: lpt (longest first, work stealing) | fifo (index order)")
+		traceCache = flag.Bool("trace-cache", true, "record each reused (workload, tiling config) schedule and retime it per sweep point (bit-identical tables)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		metricsOut = flag.String("metrics-out", "", "write all tables and run metadata as JSON to this file")
@@ -89,7 +94,7 @@ func main() {
 	listen := cli.AddListenFlag()
 	logLevel := cli.AddLogFlag()
 	prof := cli.AddProfileFlags()
-	cli.GroupUsage("drtbench", "Performance knobs", "parallel", "grid", "stream", "trace-cache")
+	cli.GroupUsage("drtbench", "Performance knobs", "parallel", "sched", "grid", "stream", "trace-cache")
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtbench")
@@ -113,6 +118,7 @@ func main() {
 		rec.SetMeta("microtile", fmt.Sprint(*microTile))
 		rec.SetMeta("grid", *gridMode)
 		rec.SetMeta("stream", fmt.Sprint(*stream))
+		rec.SetMeta("sched", *sched)
 		rec.SetMeta("trace-cache", fmt.Sprint(*traceCache))
 		for k, v := range obs.BuildMeta() {
 			rec.SetMeta(k, v)
@@ -123,6 +129,10 @@ func main() {
 	if err != nil {
 		cli.Usagef("drtbench: %v", err)
 	}
+	schedMode, err := par.ParseSched(*sched)
+	if err != nil {
+		cli.Usagef("drtbench: %v", err)
+	}
 
 	// Live telemetry: the progress tracker exists when either consumer
 	// (the stderr line or the debug server) asked for it; installing it as
@@ -130,6 +140,7 @@ func main() {
 	var prog *obs.Progress
 	if *progress || *listen != "" {
 		prog = obs.NewProgress()
+		prog.SetSched(schedMode.String())
 		obs.SetActive(prog)
 	}
 	if *listen != "" {
@@ -146,7 +157,7 @@ func main() {
 		defer stopLine()
 	}
 
-	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream, NoTraceCache: !*traceCache, Progress: prog}
+	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream, Sched: schedMode, NoTraceCache: !*traceCache, Progress: prog}
 	if rec != nil {
 		opts.Rec = rec
 	}
@@ -159,7 +170,7 @@ func main() {
 		ids = strings.Split(*expID, ",")
 	}
 	logger.Info("run start", "cmd", "drtbench", "exp", *expID, "scale", *scale,
-		"parallel", *parallel, "stream", *stream, "trace-cache", *traceCache)
+		"parallel", *parallel, "sched", schedMode.String(), "stream", *stream, "trace-cache", *traceCache)
 	runStart := time.Now()
 	var dump metricsDump
 	for _, id := range ids {
@@ -204,6 +215,8 @@ func main() {
 			"workload_misses", rec.Counter("exp.workload.misses"),
 			"trace_hits", rec.Counter("exp.tracecache.hits"),
 			"trace_misses", rec.Counter("exp.tracecache.misses"),
+			"trace_direct", rec.Counter("exp.tracecache.direct"),
+			"trace_evictions", rec.Counter("exp.tracecache.evictions"),
 			"boxcache_hits", rec.Counter("extract.boxcache.hits"),
 			"boxcache_misses", rec.Counter("extract.boxcache.misses"))
 	}

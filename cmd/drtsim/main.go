@@ -19,16 +19,18 @@
 // structured slog records. Exit codes: 2 for usage errors, 1 for runtime
 // errors.
 //
-// Performance knobs (-parallel, -grid, -stream, -trace-cache) change only
-// how fast the simulation runs, never its result: -parallel bounds worker
-// goroutines (static-shape sweep, reference kernel, sharded extraction),
-// -grid picks the micro-tile grid representation, -stream pipelines DRT
-// task extraction alongside simulation (see DESIGN.md "Extraction
-// pipeline"), and -trace-cache routes the run through the record/replay
-// split (record the schedule, then retime it — the verification path for
-// DESIGN.md "Trace record/replay"; the S-U-C ExTensor variants sweep tile
-// shapes per machine and fall back to the direct run). The report is
-// byte-identical at any setting of all four.
+// Performance knobs (-parallel, -sched, -grid, -stream, -trace-cache)
+// change only how fast the simulation runs, never its result: -parallel
+// bounds worker goroutines (static-shape sweep, reference kernel, sharded
+// extraction), -sched picks their dispatch order (lpt longest-first with
+// work stealing, or fifo index order — see DESIGN.md "Scheduling"), -grid
+// picks the micro-tile grid representation, -stream pipelines DRT task
+// extraction alongside simulation (see DESIGN.md "Extraction pipeline"),
+// and -trace-cache routes the run through the record/replay split (record
+// the schedule, then retime it — the verification path for DESIGN.md
+// "Trace record/replay"; the S-U-C ExTensor variants sweep tile shapes
+// per machine and fall back to the direct run). The report is
+// byte-identical at any setting of all five.
 package main
 
 import (
@@ -55,6 +57,7 @@ import (
 	"drt/internal/metrics"
 	"drt/internal/obs"
 	"drt/internal/obs/httpserve"
+	"drt/internal/par"
 	"drt/internal/sim"
 	"drt/internal/tiling"
 	"drt/internal/workloads"
@@ -77,6 +80,7 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the static-shape sweep, the reference kernel and sharded extraction (1 = sequential)")
 		gridMode   = flag.String("grid", "auto", "micro-tile grid representation: auto | dense | compressed")
 		stream     = flag.Bool("stream", false, "pipeline DRT task extraction alongside simulation, sharded across -parallel workers")
+		schedFlag  = flag.String("sched", "lpt", "cell dispatch order: lpt (longest first, work stealing) | fifo (index order)")
 		traceCache = flag.Bool("trace-cache", false, "run via the record/replay split: record the tile schedule, then retime it (byte-identical report)")
 		trace      = flag.Bool("trace", false, "render the DRT task tiling of the K×J plane as ASCII")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout instead of text")
@@ -87,7 +91,7 @@ func main() {
 	listen := cli.AddListenFlag()
 	logLevel := cli.AddLogFlag()
 	prof := cli.AddProfileFlags()
-	cli.GroupUsage("drtsim", "Performance knobs", "parallel", "grid", "stream", "trace-cache")
+	cli.GroupUsage("drtsim", "Performance knobs", "parallel", "sched", "grid", "stream", "trace-cache")
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtsim")
@@ -112,6 +116,10 @@ func main() {
 	if err != nil {
 		cli.Usagef("drtsim: %v", err)
 	}
+	sched, err := par.ParseSched(*schedFlag)
+	if err != nil {
+		cli.Usagef("drtsim: %v", err)
+	}
 
 	// The collector is attached only when an observability output was
 	// requested, keeping the default run on the allocation-free path.
@@ -125,6 +133,7 @@ func main() {
 		rec.SetMeta("microtile", fmt.Sprint(*microTile))
 		rec.SetMeta("grid", *gridMode)
 		rec.SetMeta("stream", fmt.Sprint(*stream))
+		rec.SetMeta("sched", *schedFlag)
 		rec.SetMeta("trace-cache", fmt.Sprint(*traceCache))
 		rec.SetMeta("seed", fmt.Sprint(e.Seed))
 		if spec, err := json.Marshal(e.Spec(*scale)); err == nil {
@@ -140,6 +149,7 @@ func main() {
 	if *progress || *listen != "" {
 		prog = obs.NewProgress()
 		prog.SetPhase("generate")
+		prog.SetSched(sched.String())
 		obs.SetActive(prog)
 	}
 	if *listen != "" {
@@ -180,7 +190,7 @@ func main() {
 	}
 
 	prog.SetPhase("simulate")
-	r, err := run(*accelName, w, m, *parallel, *stream, *traceCache, rec)
+	r, err := run(*accelName, w, m, *parallel, sched, *stream, *traceCache, rec)
 	if err != nil {
 		cli.Fatalf("drtsim: %v", err)
 	}
@@ -276,7 +286,7 @@ func printTrace(a *accel.Workload, microTile int) error {
 	return nil
 }
 
-func run(name string, w *accel.Workload, m sim.Machine, parallel int, stream bool, traceCache bool, rec *obs.Collector) (sim.Result, error) {
+func run(name string, w *accel.Workload, m sim.Machine, parallel int, sched par.Sched, stream bool, traceCache bool, rec *obs.Collector) (sim.Result, error) {
 	var r obs.Recorder
 	if rec != nil {
 		r = rec
@@ -284,6 +294,7 @@ func run(name string, w *accel.Workload, m sim.Machine, parallel int, stream boo
 	exOpt := extensor.DefaultOptions()
 	exOpt.Machine = m
 	exOpt.Parallel = parallel
+	exOpt.Sched = sched
 	exOpt.Stream = stream
 	exOpt.Rec = r
 	osOpt := outerspace.Options{Machine: m, Partition: exOpt.Partition, Stream: stream, Parallel: parallel, Rec: r}

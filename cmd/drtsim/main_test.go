@@ -10,6 +10,7 @@ import (
 	"drt/internal/accel"
 	"drt/internal/exp"
 	"drt/internal/obs"
+	"drt/internal/par"
 	"drt/internal/tiling"
 	"drt/internal/workloads"
 )
@@ -39,18 +40,20 @@ func TestReportGolden(t *testing.T) {
 	golden := filepath.Join("testdata", "report_bcsstk17.golden")
 	for _, cfg := range []struct {
 		grid       tiling.Mode
+		sched      par.Sched
 		stream     bool
 		traceCache bool
 	}{
-		{tiling.Dense, false, false},
-		{tiling.Dense, true, false},
-		{tiling.Compressed, false, false},
-		{tiling.Compressed, true, false},
+		{tiling.Dense, par.FIFO, false, false},
+		{tiling.Dense, par.LPT, false, false},
+		{tiling.Dense, par.LPT, true, false},
+		{tiling.Compressed, par.FIFO, false, false},
+		{tiling.Compressed, par.LPT, true, false},
 		// -trace-cache reruns the same workload through the record/replay
 		// split; matching the golden bytes pins Retime's bit-for-bit
 		// equality with the direct run at the CLI surface.
-		{tiling.Dense, false, true},
-		{tiling.Dense, true, true},
+		{tiling.Dense, par.FIFO, false, true},
+		{tiling.Dense, par.LPT, true, true},
 	} {
 		grid := cfg.grid
 		w, err := accel.NewWorkloadWith(e.Name, a, a,
@@ -60,17 +63,18 @@ func TestReportGolden(t *testing.T) {
 		}
 		m := exp.NewContext(exp.Options{Scale: scale, MicroTile: microTile}).Machine()
 		// The golden file was produced by a sequential, non-streamed run;
-		// simulating with four workers — and, in half the cases, the
-		// pipelined sharded extraction — and still matching it byte-for-byte
-		// pins the parallel paths' determinism guarantee.
-		r, err := run(accelName, w, m, 4, cfg.stream, cfg.traceCache, nil)
+		// simulating with four workers — under both dispatch orders and, in
+		// several cases, the pipelined sharded extraction — and still
+		// matching it byte-for-byte pins the parallel paths' determinism
+		// guarantee.
+		r, err := run(accelName, w, m, 4, cfg.sched, cfg.stream, cfg.traceCache, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var buf bytes.Buffer
 		report(&buf, w, r, m)
 
-		if *update && grid == tiling.Dense && !cfg.stream && !cfg.traceCache {
+		if *update && grid == tiling.Dense && cfg.sched == par.FIFO && !cfg.stream && !cfg.traceCache {
 			if err := os.MkdirAll("testdata", 0o755); err != nil {
 				t.Fatal(err)
 			}
@@ -84,7 +88,7 @@ func TestReportGolden(t *testing.T) {
 			t.Fatalf("missing golden file (run with -update to create): %v", err)
 		}
 		if !bytes.Equal(buf.Bytes(), want) {
-			t.Errorf("report with -grid %s -stream=%v -trace-cache=%v diverged from golden file.\n--- got ---\n%s--- want ---\n%s", grid, cfg.stream, cfg.traceCache, buf.Bytes(), want)
+			t.Errorf("report with -grid %s -sched %s -stream=%v -trace-cache=%v diverged from golden file.\n--- got ---\n%s--- want ---\n%s", grid, cfg.sched, cfg.stream, cfg.traceCache, buf.Bytes(), want)
 		}
 	}
 }
@@ -104,7 +108,7 @@ func TestJSONMatchesText(t *testing.T) {
 	}
 	m := exp.NewContext(exp.Options{Scale: 64, MicroTile: 8}).Machine()
 	rec := obs.NewCollector()
-	r, err := run("extensor-op-drt", w, m, 1, false, false, rec)
+	r, err := run("extensor-op-drt", w, m, 1, par.FIFO, false, false, rec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,6 +78,11 @@ type Options struct {
 	// identical at any setting: candidates are compared in proposal
 	// order. With Stream set it also shards task extraction.
 	Parallel int
+	// Sched is the sweep pool's dispatch order (par.LPT starts the
+	// smallest-tile candidates — the ones with the most tasks — first).
+	// The winner is compared in proposal order, so the result is
+	// identical at any setting.
+	Sched par.Sched
 	// Stream pipelines task extraction alongside simulation (see
 	// accel.EngineOptions.Stream); outputs are byte-identical either way.
 	// Inside the static-shape sweep — whose candidates already run across
@@ -169,7 +174,7 @@ func Run(v Variant, w *accel.Workload, opt Options) (sim.Result, error) {
 		// The sweep instruments only the winning shape's run; runSweep
 		// re-simulates it with the recorder when one is attached.
 		base.Rec = nil
-		return runSweep(w, base, base.CapA, base.CapB, opt.Parallel, opt.Rec)
+		return runSweep(w, base, base.CapA, base.CapB, sweepPool(opt), opt.Rec)
 	}
 	return accel.RunTasks(w, base)
 }
@@ -256,12 +261,18 @@ func staticShapes(w *accel.Workload, capA, capB int64) [][3]int {
 	}
 }
 
+// sweepPool extracts the sweep's worker-pool configuration from the study
+// options.
+func sweepPool(opt Options) par.Options {
+	return par.Options{Workers: opt.Parallel, Sched: opt.Sched}
+}
+
 // runSweep performs the static-shape sweep and, when a recorder is
 // attached, re-simulates the winning shape with instrumentation so the
 // recorder reflects exactly one run — the one whose Result is returned —
 // rather than the sum of all candidates.
-func runSweep(w *accel.Workload, base accel.EngineOptions, capA, capB int64, parallel int, rec obs.Recorder) (sim.Result, error) {
-	r, shape, err := sweepStatic(w, base, capA, capB, parallel)
+func runSweep(w *accel.Workload, base accel.EngineOptions, capA, capB int64, pool par.Options, rec obs.Recorder) (sim.Result, error) {
+	r, shape, err := sweepStatic(w, base, capA, capB, pool)
 	if err != nil || rec == nil {
 		return r, err
 	}
@@ -277,13 +288,23 @@ func runSweep(w *accel.Workload, base accel.EngineOptions, capA, capB int64, par
 // shape sweep. Candidates are simulated across the worker pool but
 // compared in proposal order with a strict less-than, so ties and the
 // reported first error resolve exactly as the sequential sweep did.
-func sweepStatic(w *accel.Workload, base accel.EngineOptions, capA, capB int64, parallel int) (sim.Result, []int, error) {
+func sweepStatic(w *accel.Workload, base accel.EngineOptions, capA, capB int64, pool par.Options) (sim.Result, []int, error) {
 	shapes := staticShapes(w, capA, capB)
+	// A candidate's cost grows with its task count — the tile volume is
+	// fixed, so smaller shapes mean more tasks and more per-task overhead;
+	// weight each shape by the grid's task count so LPT starts the
+	// slowest candidate first.
+	gaR, gaC := w.GA.Extents()
+	_, gbC := w.GB.Extents()
+	pool.Weights = make([]int64, len(shapes))
+	for i, s := range shapes {
+		pool.Weights[i] = int64(ceilDiv(gaR, s[0])) * int64(ceilDiv(gbC, s[1])) * int64(ceilDiv(gaC, s[2]))
+	}
 	type candidate struct {
 		r   sim.Result
 		err error
 	}
-	cands, _ := par.Map(parallel, len(shapes), func(i int) (candidate, error) {
+	cands, _ := par.MapWith(pool, len(shapes), func(i int) (candidate, error) {
 		opt := base
 		opt.InitialSize = []int{shapes[i][0], shapes[i][1], shapes[i][2]}
 		// Candidates already saturate the worker pool; a streamed run
@@ -335,6 +356,14 @@ func BestStaticShape(v Variant, w *accel.Workload, opt Options) ([]int, error) {
 	default:
 		return nil, fmt.Errorf("extensor: %v is not a static variant", v)
 	}
-	_, shape, err := sweepStatic(w, base, capA, capB, opt.Parallel)
+	_, shape, err := sweepStatic(w, base, capA, capB, sweepPool(opt))
 	return shape, err
+}
+
+// ceilDiv is ⌈a/b⌉ for positive b.
+func ceilDiv(a, b int) int {
+	if b < 1 {
+		b = 1
+	}
+	return (a + b - 1) / b
 }

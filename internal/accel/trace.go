@@ -53,13 +53,13 @@ type Trace struct {
 // during an empty task charges its bytes to the next non-empty task here,
 // exactly as the engine's pending-load bookkeeping does.
 type traceTask struct {
-	bytes        int64 // input tile bytes charged (A + B)
-	scanTiles    int64
-	probes       int
-	rebuiltTiles int64
-	rowsLo, rowsHi int
-	subsLo, subsHi int
-	extsLo, extsHi int
+	bytes            int64 // input tile bytes charged (A + B)
+	scanTiles        int64
+	probes           int
+	rebuiltTiles     int64
+	rowsLo, rowsHi   int
+	subsLo, subsHi   int
+	extsLo, extsHi   int
 	distsLo, distsHi int
 }
 
@@ -81,6 +81,23 @@ type distEvent struct {
 
 // NumTasks returns the number of non-empty tasks in the recorded schedule.
 func (t *Trace) NumTasks() int { return len(t.taskRecs) }
+
+// Bytes estimates the retained heap footprint of the recorded schedule:
+// the flat per-task and per-item arrays that dominate a trace's size. Cache
+// layers use it to enforce a retention budget.
+func (t *Trace) Bytes() int64 {
+	const (
+		taskSize = int64(96) // unsafe.Sizeof(traceTask{}) rounded up
+		rowSize  = int64(16)
+		distSize = int64(16)
+	)
+	return int64(len(t.taskRecs))*taskSize +
+		int64(len(t.rows))*rowSize +
+		int64(len(t.subs))*rowSize +
+		int64(len(t.exts))*8 +
+		int64(len(t.dists))*distSize +
+		256 // struct header + ledgers
+}
 
 // RetimeOptions selects the machine-dependent knobs a recorded schedule is
 // re-priced under. Every field may differ from the recording run; none of

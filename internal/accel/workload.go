@@ -76,16 +76,51 @@ func NewWorkloadWith(name string, a, b *tensor.CSR, cfg WorkloadConfig) (*Worklo
 	} else {
 		z, st = kernels.Gustavson(a, b)
 	}
+	ga := tiling.NewSummaryGrid(a, mt, mt, cfg.Format, cfg.Grid)
+	gb := ga
+	if b != a {
+		gb = tiling.NewSummaryGrid(b, mt, mt, cfg.Format, cfg.Grid)
+	}
 	return &Workload{
 		Name:      name,
 		A:         a,
 		B:         b,
 		MicroTile: mt,
-		GA:        tiling.NewSummaryGrid(a, mt, mt, cfg.Format, cfg.Grid),
-		GB:        tiling.NewSummaryGrid(b, mt, mt, cfg.Format, cfg.Grid),
+		GA:        ga,
+		GB:        gb,
 		GZ:        tiling.NewSummaryGrid(z, mt, mt, cfg.Format, cfg.Grid),
 		Z:         z,
 		MACCs:     st.MACCs,
+	}, nil
+}
+
+// Retile returns a workload sharing this one's operands and reference
+// product but tiled under a new configuration. The Gustavson reference —
+// the expensive half of workload preparation — is micro-tile-invariant
+// (the product depends only on the operands), so only the summary grids
+// are rebuilt; the result is identical to NewWorkloadWith on the same
+// operands. Like NewWorkloadWith, a square self-product (B and A the same
+// tensor) shares one grid for both operands.
+func (w *Workload) Retile(cfg WorkloadConfig) (*Workload, error) {
+	mt := cfg.MicroTile
+	if mt < 1 {
+		return nil, fmt.Errorf("accel: %s: micro tile %d", w.Name, mt)
+	}
+	ga := tiling.NewSummaryGrid(w.A, mt, mt, cfg.Format, cfg.Grid)
+	gb := ga
+	if w.B != w.A {
+		gb = tiling.NewSummaryGrid(w.B, mt, mt, cfg.Format, cfg.Grid)
+	}
+	return &Workload{
+		Name:      w.Name,
+		A:         w.A,
+		B:         w.B,
+		MicroTile: mt,
+		GA:        ga,
+		GB:        gb,
+		GZ:        tiling.NewSummaryGrid(w.Z, mt, mt, cfg.Format, cfg.Grid),
+		Z:         w.Z,
+		MACCs:     w.MACCs,
 	}, nil
 }
 

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"drt/internal/accel"
 	"drt/internal/accel/extensor"
 	"drt/internal/metrics"
 	"drt/internal/sim"
@@ -36,15 +35,20 @@ func (c *Context) AblTCC() (*metrics.Table, error) {
 		dncTUC, dncTCC float64
 	}
 	cells, err := forEntries(c, c.fig6Entries(), func(e workloads.Entry) (cell, error) {
-		a := e.Generate(c.Opt.Scale)
+		base, err := c.Square(e)
+		if err != nil {
+			return cell{}, err
+		}
+		// Both representations re-tile the memoized workload: the reference
+		// product is format-invariant, only the grids differ.
 		cfg := c.workloadConfig()
 		cfg.Format = tiling.TUC
-		wTUC, err := accel.NewWorkloadWith(e.Name, a, a, cfg)
+		wTUC, err := base.Retile(cfg)
 		if err != nil {
 			return cell{}, err
 		}
 		cfg.Format = tiling.TCC
-		wTCC, err := accel.NewWorkloadWith(e.Name, a, a, cfg)
+		wTCC, err := base.Retile(cfg)
 		if err != nil {
 			return cell{}, err
 		}
@@ -93,12 +97,17 @@ func (c *Context) AblAutoTile() (*metrics.Table, error) {
 		fixed, auto int64
 	}
 	cells, err := forEntries(c, entries, func(e workloads.Entry) (cell, error) {
-		a := e.Generate(c.Opt.Scale)
-		edge := tiling.SuggestMicroTile(a, 4, 8, 16, 32)
+		base, err := c.Square(e)
+		if err != nil {
+			return cell{}, err
+		}
+		edge := tiling.SuggestMicroTile(base.A, 4, 8, 16, 32)
 		run := func(mt int) (int64, error) {
 			cfg := c.workloadConfig()
 			cfg.MicroTile = mt
-			w, err := accel.NewWorkloadWith(e.Name, a, a, cfg)
+			// Re-tiling the memoized workload reuses its reference product;
+			// only the summary grids are rebuilt per candidate edge.
+			w, err := base.Retile(cfg)
 			if err != nil {
 				return 0, err
 			}

@@ -18,6 +18,27 @@ import (
 // everything that shapes a schedule; everything absent from the key is
 // machine-invariant (pinned by the replay equality tests in accel and
 // extensor) and safe to sweep over a shared trace.
+//
+// Two policies keep the cache from costing more than it saves — the
+// Fig. 14/Fig. 17 regressions of the 2026-08-06_3 snapshot were exactly
+// that failure mode (see DESIGN.md "Trace record/replay"):
+//
+//   - Record on second use. The recording pass is a full engine run plus
+//     capture, strictly slower than a direct run, so a configuration seen
+//     for the first time runs direct and is only recorded when a second
+//     request proves the schedule is actually reused. One-shot sweep grids
+//     (Fig. 14's 78 partition×workload cells) never pay capture or retain
+//     traces; genuinely shared configurations (Fig. 12's 12 machine points
+//     per workload) pay one extra direct run and then replay as before.
+//   - Retention budget. Recorded traces are evicted least-recently-used
+//     once their estimated bytes exceed TraceBudget, so a long-lived
+//     Context (the shared benchmark context, a future drtserve process)
+//     cannot grow an unbounded live heap that taxes every later GC cycle.
+
+// defaultTraceBudget bounds retained trace bytes when Options.TraceBudget
+// is zero. 256 MiB holds hundreds of scaled-workload schedules while
+// keeping the benchmark suite's shared context GC-light.
+const defaultTraceBudget = 256 << 20
 
 // traceKey identifies one recorded schedule: the workload (whose name is
 // unique per prepared workload within a Context — Scale, MicroTile and
@@ -35,11 +56,15 @@ type traceKey struct {
 	gb, pb   int64 // buffer sizes feed the capacity split, which shapes tiles
 }
 
-// traceCell is one memoized schedule recording.
+// traceCell is one memoized schedule recording. bytes and lastUse are
+// guarded by the context mutex; bytes stays zero until the recording
+// completes (in-flight cells are never evicted).
 type traceCell struct {
-	once sync.Once
-	tr   *accel.Trace
-	err  error
+	once    sync.Once
+	tr      *accel.Trace
+	err     error
+	bytes   int64
+	lastUse int64
 }
 
 // canonSize canonicalizes a per-dimension size vector the way the core
@@ -67,15 +92,27 @@ func (c *Context) traceEligible(v extensor.Variant, opt extensor.Options) bool {
 	return v == extensor.OPDRT || opt.StaticShape != nil
 }
 
-// runExtensor is the runners' extensor.Run: eligible cells record the
-// schedule once per (workload, tiling config) and retime it — bit-for-bit
-// identical to the direct run, so tables do not depend on the cache —
-// while ineligible cells fall through to extensor.Run unchanged. wkey
-// names the prepared workload (w's identity within this Context).
+// runExtensor is the runners' extensor.Run: eligible cells go through the
+// record-on-second-use trace cache — the first request for a (workload,
+// tiling config) runs the engine directly, the second records the schedule
+// once, and every later request retimes it, bit-for-bit identical to the
+// direct run either way, so tables do not depend on the cache — while
+// ineligible cells fall through to extensor.Run unchanged. wkey names the
+// prepared workload (w's identity within this Context).
 func (c *Context) runExtensor(v extensor.Variant, wkey string, w *accel.Workload, opt extensor.Options) (sim.Result, error) {
 	if !c.traceEligible(v, opt) {
 		return extensor.Run(v, w, opt)
 	}
+	key := c.traceKeyFor(v, wkey, opt)
+	c.mu.Lock()
+	if cell := c.traces[key]; cell == nil && !c.traceSeen[key] {
+		// First use: prove reuse before paying the capture pass.
+		c.traceSeen[key] = true
+		c.mu.Unlock()
+		obs.OrNop(c.Opt.Rec).Count("exp.tracecache.direct", 1)
+		return extensor.Run(v, w, opt)
+	}
+	c.mu.Unlock()
 	tr, err := c.extensorTrace(v, wkey, w, opt)
 	if err != nil {
 		return sim.Result{}, err
@@ -83,9 +120,8 @@ func (c *Context) runExtensor(v extensor.Variant, wkey string, w *accel.Workload
 	return extensor.Retime(v, tr, opt), nil
 }
 
-// extensorTrace returns the memoized recorded schedule for (variant,
-// workload, tiling config), recording it on first use.
-func (c *Context) extensorTrace(v extensor.Variant, wkey string, w *accel.Workload, opt extensor.Options) (*accel.Trace, error) {
+// traceKeyFor builds the cache key for (variant, workload, tiling config).
+func (c *Context) traceKeyFor(v extensor.Variant, wkey string, opt extensor.Options) traceKey {
 	key := traceKey{
 		workload: wkey,
 		variant:  v,
@@ -100,12 +136,21 @@ func (c *Context) extensorTrace(v extensor.Variant, wkey string, w *accel.Worklo
 		key.hasShape = true
 		key.shape = canonSize(opt.StaticShape)
 	}
+	return key
+}
+
+// extensorTrace returns the memoized recorded schedule for (variant,
+// workload, tiling config), recording it on first use.
+func (c *Context) extensorTrace(v extensor.Variant, wkey string, w *accel.Workload, opt extensor.Options) (*accel.Trace, error) {
+	key := c.traceKeyFor(v, wkey, opt)
 	c.mu.Lock()
 	cell := c.traces[key]
 	if cell == nil {
 		cell = &traceCell{}
 		c.traces[key] = cell
 	}
+	c.useTick++
+	cell.lastUse = c.useTick
 	c.mu.Unlock()
 	recorded := false
 	cell.once.Do(func() {
@@ -117,8 +162,47 @@ func (c *Context) extensorTrace(v extensor.Variant, wkey string, w *accel.Worklo
 	rec := obs.OrNop(c.Opt.Rec)
 	if recorded {
 		rec.Count("exp.tracecache.misses", 1)
+		if cell.err == nil {
+			c.accountTrace(key, cell)
+		}
 	} else {
 		rec.Count("exp.tracecache.hits", 1)
 	}
 	return cell.tr, cell.err
+}
+
+// accountTrace charges a freshly recorded trace against the retention
+// budget, evicting least-recently-used completed cells until the total
+// fits. The cell just recorded is never evicted in its own accounting
+// pass (its requester holds the pointer anyway).
+func (c *Context) accountTrace(key traceKey, cell *traceCell) {
+	budget := c.Opt.TraceBudget
+	if budget == 0 {
+		budget = defaultTraceBudget
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cell.bytes = cell.tr.Bytes()
+	c.traceBytes += cell.bytes
+	if budget < 0 {
+		return
+	}
+	for c.traceBytes > budget {
+		var victimKey traceKey
+		var victim *traceCell
+		for k, tc := range c.traces {
+			if tc == cell || tc.bytes == 0 { // never the fresh cell or in-flight ones
+				continue
+			}
+			if victim == nil || tc.lastUse < victim.lastUse {
+				victim, victimKey = tc, k
+			}
+		}
+		if victim == nil {
+			return // nothing evictable; the fresh trace alone exceeds the budget
+		}
+		c.traceBytes -= victim.bytes
+		delete(c.traces, victimKey)
+		obs.OrNop(c.Opt.Rec).Count("exp.tracecache.evictions", 1)
+	}
 }

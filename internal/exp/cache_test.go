@@ -98,9 +98,10 @@ func TestTraceCacheKeying(t *testing.T) {
 	}
 }
 
-// TestTraceCacheCounters pins the hit/miss accounting: a Fig. 12 run over
-// N workloads records N traces (misses) and serves the remaining
-// 12N - N sweep cells from cache (hits).
+// TestTraceCacheCounters pins the record-on-second-use accounting: a
+// Fig. 12 run over N workloads serves each workload's first sweep cell
+// directly (direct), records on the second (misses) and serves the
+// remaining 12N - 2N cells from cache (hits).
 func TestTraceCacheCounters(t *testing.T) {
 	rec := obs.NewCollector()
 	c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Rec: rec})
@@ -108,11 +109,98 @@ func TestTraceCacheCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := int64(len(c.fig6Entries()))
-	if got := rec.Counter("exp.tracecache.misses"); got != n {
-		t.Errorf("misses = %d, want %d (one recording per workload)", got, n)
+	if got := rec.Counter("exp.tracecache.direct"); got != n {
+		t.Errorf("direct = %d, want %d (first use runs the engine, no capture)", got, n)
 	}
-	if got := rec.Counter("exp.tracecache.hits"); got != 12*n-n {
-		t.Errorf("hits = %d, want %d", got, 12*n-n)
+	if got := rec.Counter("exp.tracecache.misses"); got != n {
+		t.Errorf("misses = %d, want %d (one recording per workload, on second use)", got, n)
+	}
+	if got := rec.Counter("exp.tracecache.hits"); got != 12*n-2*n {
+		t.Errorf("hits = %d, want %d", got, 12*n-2*n)
+	}
+}
+
+// TestTraceCacheOneShotCellsStayDirect pins the policy that fixed the
+// Fig. 14 regression: a sweep whose every cell is a distinct configuration
+// must never record — first use is the only use, so the cache must not pay
+// capture overhead or retain traces for it.
+func TestTraceCacheOneShotCellsStayDirect(t *testing.T) {
+	rec := obs.NewCollector()
+	c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Rec: rec})
+	e := c.fig6Entries()[0]
+	w, err := c.Square(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, startJ := range []int{2, 4, 8} { // three one-shot configurations
+		opt := c.extensorOptions()
+		opt.InitialSize = []int{1, startJ, 1}
+		if _, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.Counter("exp.tracecache.direct"); got != 3 {
+		t.Errorf("direct = %d, want 3", got)
+	}
+	if got := rec.Counter("exp.tracecache.misses"); got != 0 {
+		t.Errorf("misses = %d, want 0 (one-shot cells must not record)", got)
+	}
+	if c.traceBytes != 0 || len(c.traces) != 0 {
+		t.Errorf("one-shot cells retained %d trace bytes in %d cells", c.traceBytes, len(c.traces))
+	}
+}
+
+// TestTraceCacheEviction pins the retention budget: with a budget smaller
+// than two traces, recording a second schedule evicts the
+// least-recently-used one, and a later request for the evicted schedule
+// re-records it rather than failing.
+func TestTraceCacheEviction(t *testing.T) {
+	rec := obs.NewCollector()
+	c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Rec: rec, TraceBudget: 1})
+	e := c.fig6Entries()[0]
+	w, err := c.Square(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optA := c.extensorOptions()
+	optB := c.extensorOptions()
+	optB.InitialSize = []int{1, 4, 1}
+	trA1, err := c.extensorTrace(extensor.OPDRT, e.Name, w, optA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.traces) != 1 {
+		t.Fatalf("retained %d traces, want 1 (fresh trace survives its own accounting)", len(c.traces))
+	}
+	if _, err := c.extensorTrace(extensor.OPDRT, e.Name, w, optB); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("exp.tracecache.evictions"); got != 1 {
+		t.Errorf("evictions = %d, want 1 (budget of 1 byte holds one trace)", got)
+	}
+	if len(c.traces) != 1 {
+		t.Errorf("retained %d traces, want 1 under a 1-byte budget", len(c.traces))
+	}
+	trA2, err := c.extensorTrace(extensor.OPDRT, e.Name, w, optA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trA2 == trA1 {
+		t.Error("evicted trace was still served from cache")
+	}
+	if got := rec.Counter("exp.tracecache.misses"); got != 3 {
+		t.Errorf("misses = %d, want 3 (A, B, re-recorded A)", got)
+	}
+	// An unlimited budget never evicts.
+	c2 := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Rec: obs.NewCollector(), TraceBudget: -1})
+	if _, err := c2.extensorTrace(extensor.OPDRT, e.Name, w, optA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.extensorTrace(extensor.OPDRT, e.Name, w, optB); err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.traces) != 2 {
+		t.Errorf("negative budget evicted: %d traces retained, want 2", len(c2.traces))
 	}
 }
 

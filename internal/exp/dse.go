@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"drt/internal/accel"
 	"drt/internal/accel/extensor"
 	"drt/internal/core"
 	"drt/internal/cpuref"
@@ -24,8 +23,11 @@ func (c *Context) Fig12() (*metrics.Table, error) {
 	mults := []float64{1, 2, 4, 8}
 	entries := c.fig6Entries()
 	// One cell per (bandwidth, unit, workload) triple, flattened so every
-	// simulation of the sweep runs on the pool at once.
-	speedups, err := par.Map(c.Opt.Parallel, len(mults)*len(kinds)*len(entries), func(i int) (float64, error) {
+	// simulation of the sweep runs on the pool at once; cells are weighted
+	// by their entry's scaled nnz so LPT starts the heavy workloads first.
+	n := len(mults) * len(kinds) * len(entries)
+	weights := c.gridWeights(n, func(i int) workloads.Entry { return entries[i%len(entries)] })
+	speedups, err := par.MapWith(c.pool(weights), n, func(i int) (float64, error) {
 		e := entries[i%len(entries)]
 		kind := kinds[i/len(entries)%len(kinds)]
 		mult := mults[i/len(entries)/len(kinds)]
@@ -93,7 +95,9 @@ func (c *Context) Fig14() (*metrics.Table, error) {
 			}
 		}
 	}
-	times, err := par.Map(c.Opt.Parallel, len(parts)*len(entries), func(i int) (float64, error) {
+	n := len(parts) * len(entries)
+	weights := c.gridWeights(n, func(i int) workloads.Entry { return entries[i%len(entries)] })
+	times, err := par.MapWith(c.pool(weights), n, func(i int) (float64, error) {
 		opt := c.extensorOptions()
 		opt.Partition = parts[i/len(entries)]
 		e := entries[i%len(entries)]
@@ -170,7 +174,9 @@ func (c *Context) Fig16() (*metrics.Table, error) {
 		entries = entries[:6]
 	}
 	startJs := []int{1, 2, 4, 8, 16}
-	times, err := par.Map(c.Opt.Parallel, len(entries)*len(startJs), func(i int) (float64, error) {
+	n := len(entries) * len(startJs)
+	weights := c.gridWeights(n, func(i int) workloads.Entry { return entries[i/len(startJs)] })
+	times, err := par.MapWith(c.pool(weights), n, func(i int) (float64, error) {
 		e := entries[i/len(startJs)]
 		w, err := c.Square(e)
 		if err != nil {
@@ -209,16 +215,21 @@ func (c *Context) Fig17() (*metrics.Table, error) {
 	if len(entries) > 6 {
 		entries = entries[:6]
 	}
-	// One cell per entry: the micro-tile loop reuses the generated matrix,
-	// so the sweep stays inside the cell.
+	// One cell per entry: the micro-tile loop re-tiles the memoized S²
+	// workload, so the exact Gustavson reference — micro-tile-invariant and
+	// the dominant cost of preparing each shape — runs once per entry (and
+	// is shared with every other figure) instead of once per (entry, mt).
 	mts := []int{4, 8, 16, 32, 64}
 	rows, err := forEntries(c, entries, func(e workloads.Entry) ([]float64, error) {
-		a := e.Generate(c.Opt.Scale)
+		base, err := c.Square(e)
+		if err != nil {
+			return nil, err
+		}
 		var mbs []float64
 		for _, mt := range mts {
 			cfg := c.workloadConfig()
 			cfg.MicroTile = mt
-			w, err := accel.NewWorkloadWith(e.Name, a, a, cfg)
+			w, err := base.Retile(cfg)
 			if err != nil {
 				return nil, err
 			}

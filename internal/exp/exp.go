@@ -54,13 +54,24 @@ type Options struct {
 	// across Parallel workers where the dataflow allows. Task sequences are
 	// byte-identical either way, so every table is unchanged by this knob.
 	Stream bool
-	// NoTraceCache disables the record-once trace cache: sweep runners then
-	// re-run the full engine for every cell instead of recording each
-	// (workload, tiling config) schedule once and retiming it per machine
+	// NoTraceCache disables the record-on-reuse trace cache: sweep runners
+	// then re-run the full engine for every cell instead of recording each
+	// reused (workload, tiling config) schedule and retiming it per machine
 	// point. Replay is bit-for-bit identical to the direct run, so every
 	// table is byte-identical either way; the knob exists for verification
 	// and timing comparisons.
 	NoTraceCache bool
+	// TraceBudget bounds the bytes of recorded schedules the context
+	// retains (least-recently-used traces are evicted past it). 0 selects
+	// the 256 MiB default; negative disables eviction. Eviction only costs
+	// a re-recording on a later request, never changes a table.
+	TraceBudget int64
+	// Sched selects the worker pool's dispatch order (par.FIFO index order
+	// or par.LPT longest-first with work stealing). Cells are reassembled
+	// in input order either way, so every table is byte-identical at any
+	// setting; LPT only keeps workers from idling behind a power-law cell
+	// at the end of a sweep.
+	Sched par.Sched
 	// Rec, when non-nil, receives run metadata (each prepared workload's
 	// generator spec) and wall-clock phase spans for workload preparation,
 	// so the benchmark harness's metrics dump records how to rebuild every
@@ -98,6 +109,11 @@ type Context struct {
 	spmspm map[string]*workloadCell
 	grams  map[string]*gramCell
 	traces map[traceKey]*traceCell
+	// traceSeen marks configurations requested at least once: the trace
+	// cache only records a schedule on its second request (see cache.go).
+	traceSeen  map[traceKey]bool
+	traceBytes int64 // retained recorded-trace bytes, vs Opt.TraceBudget
+	useTick    int64 // LRU clock for trace eviction
 }
 
 // workloadCell is one memoized workload; the Once guarantees exactly one
@@ -124,10 +140,11 @@ func NewContext(opt Options) *Context {
 		opt.MicroTile = 16
 	}
 	return &Context{
-		Opt:    opt,
-		spmspm: map[string]*workloadCell{},
-		grams:  map[string]*gramCell{},
-		traces: map[traceKey]*traceCell{},
+		Opt:       opt,
+		spmspm:    map[string]*workloadCell{},
+		grams:     map[string]*gramCell{},
+		traces:    map[traceKey]*traceCell{},
+		traceSeen: map[traceKey]bool{},
 	}
 }
 
@@ -157,14 +174,36 @@ func forEntries[T any](c *Context, entries []workloads.Entry, f func(e workloads
 			return v, err
 		}
 	}
-	if c.Opt.Progress == nil {
-		return par.Map(c.Opt.Parallel, len(entries), run)
-	}
 	weights := make([]int64, len(entries))
 	for i, e := range entries {
 		weights[i] = cellWeight(e, c.Opt.Scale)
 	}
-	return par.MapTracked(c.Opt.Progress, weights, c.Opt.Parallel, len(entries), run)
+	return par.MapWith(c.pool(weights), len(entries), run)
+}
+
+// pool is the par pool configuration the context's options select: worker
+// count, dispatch order, per-cell weights (nil is allowed) and the live
+// progress sink. Every runner fan-out goes through it so one -sched /
+// -parallel setting governs the whole run.
+func (c *Context) pool(weights []int64) par.Options {
+	return par.Options{
+		Workers:  c.Opt.Parallel,
+		Sched:    c.Opt.Sched,
+		Weights:  weights,
+		Progress: c.Opt.Progress,
+	}
+}
+
+// gridWeights builds the weight vector for a flattened (config × entry)
+// grid of n cells: entryAt maps a cell index back to its catalog entry,
+// and the weight is that entry's scaled nnz — configuration knobs sweep
+// the same workload, so the entry dominates a cell's cost.
+func (c *Context) gridWeights(n int, entryAt func(i int) workloads.Entry) []int64 {
+	weights := make([]int64, n)
+	for i := range weights {
+		weights[i] = cellWeight(entryAt(i), c.Opt.Scale)
+	}
+	return weights
 }
 
 // cellWeight is one catalog entry's a-priori work weight: its scaled

@@ -6,23 +6,25 @@ import (
 
 	"drt/internal/accel"
 	"drt/internal/obs"
+	"drt/internal/par"
 	"drt/internal/tiling"
 )
 
 // TestParallelDeterminism is the acceptance check for the parallel runner
 // and the grid-mode switch: the same experiment run sequentially with dense
-// grids, with eight workers, and with eight workers on compressed grids
-// must render byte-identical tables. The ids cover the three fan-out shapes
+// grids, with eight workers, with eight workers on compressed grids, and
+// with eight workers under the LPT work-stealing schedule must render
+// byte-identical tables. The ids cover the three fan-out shapes
 // the runners use — per-entry cells (fig6), a flattened multi-axis grid
 // with geomean slices over the flat results (fig16) and cells with internal
 // candidate sweeps (abl-part) — picking the cheapest experiment of each
-// shape so the triple run stays affordable under -race on one core.
+// shape so the run stays affordable under -race on one core.
 func TestParallelDeterminism(t *testing.T) {
 	for _, id := range []string{"fig6", "fig16", "abl-part"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			render := func(parallel int, grid tiling.Mode, stream bool) string {
-				c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Parallel: parallel, Grid: grid, Stream: stream})
+			render := func(parallel int, grid tiling.Mode, sched par.Sched, stream bool) string {
+				c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Parallel: parallel, Grid: grid, Sched: sched, Stream: stream})
 				f, ok := c.Runner(id)
 				if !ok {
 					t.Fatalf("no runner for %s", id)
@@ -33,14 +35,17 @@ func TestParallelDeterminism(t *testing.T) {
 				}
 				return table.String()
 			}
-			seq := render(1, tiling.Dense, false)
-			if par8 := render(8, tiling.Dense, false); seq != par8 {
+			seq := render(1, tiling.Dense, par.FIFO, false)
+			if par8 := render(8, tiling.Dense, par.FIFO, false); seq != par8 {
 				t.Errorf("-parallel 8 output diverged from sequential:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s", seq, par8)
 			}
-			if comp := render(8, tiling.Compressed, false); seq != comp {
+			if lpt := render(8, tiling.Dense, par.LPT, false); seq != lpt {
+				t.Errorf("-sched lpt output diverged from fifo:\n--- fifo ---\n%s\n--- lpt ---\n%s", seq, lpt)
+			}
+			if comp := render(8, tiling.Compressed, par.FIFO, false); seq != comp {
 				t.Errorf("-grid compressed output diverged from dense:\n--- dense ---\n%s\n--- compressed ---\n%s", seq, comp)
 			}
-			if str := render(8, tiling.Dense, true); seq != str {
+			if str := render(8, tiling.Dense, par.FIFO, true); seq != str {
 				t.Errorf("-stream output diverged from inline extraction:\n--- inline ---\n%s\n--- stream ---\n%s", seq, str)
 			}
 		})

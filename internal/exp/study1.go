@@ -20,6 +20,7 @@ func (c *Context) extensorOptions() extensor.Options {
 	opt := extensor.DefaultOptions()
 	opt.Machine = c.Machine()
 	opt.Parallel = c.Opt.Parallel
+	opt.Sched = c.Opt.Sched
 	opt.Stream = c.Opt.Stream
 	return opt
 }
@@ -169,7 +170,9 @@ func (c *Context) Fig07() (*metrics.Table, error) {
 		drtBound     float64
 	}
 	suffixes := []string{"FᵀF", "FFᵀ"}
-	rows, err := par.Map(c.Opt.Parallel, len(entries)*len(suffixes), func(i int) (pairRow, error) {
+	n := len(entries) * len(suffixes)
+	weights := c.gridWeights(n, func(i int) workloads.Entry { return entries[i/len(suffixes)] })
+	rows, err := par.MapWith(c.pool(weights), n, func(i int) (pairRow, error) {
 		e, suffix := entries[i/len(suffixes)], suffixes[i%len(suffixes)]
 		// Both orientations and every benchmark iteration reuse the
 		// memoized workload (generating the tall-skinny pair and its

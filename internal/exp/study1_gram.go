@@ -48,7 +48,7 @@ func (c *Context) Fig09() (*metrics.Table, error) {
 	type cell struct {
 		density, tacoAI, sucGain, drtGain float64
 	}
-	cells, err := par.Map(c.Opt.Parallel, len(suite), func(i int) (cell, error) {
+	cells, err := par.MapWith(c.pool(nil), len(suite), func(i int) (cell, error) {
 		e := suite[i]
 		// The generated tensor and its Gram workload are memoized per entry
 		// (building one runs the exact reference kernel); repeated

@@ -53,6 +53,24 @@ func RestrictedGustavson(a, b *tensor.CSR, iR, kR, jR Range, spa *SPA) TaskResul
 	}
 	var res TaskResult
 	rows := spa.rows[:0]
+	// Memoize b.RowRange per contracted coordinate for the duration of this
+	// task: every row of the i-range probes its k columns against the same
+	// j-window, and within a tile the rows hit largely the same columns, so
+	// the second and later probes of a k become one scratch load instead of
+	// two binary searches. The generation stamp makes entries from earlier
+	// tasks (any operands, any windows) unreadable without re-zeroing.
+	kw := kR.Hi - kR.Lo
+	if kw < 0 {
+		kw = 0
+	}
+	spa.kCur++
+	if cap(spa.kGen) < kw {
+		spa.kGen = make([]int, kw)
+		spa.kLo = make([]int, kw)
+		spa.kHi = make([]int, kw)
+		spa.kCur = 1
+	}
+	kGen, kLo, kHi := spa.kGen[:kw], spa.kLo[:kw], spa.kHi[:kw]
 	for i := iR.Lo; i < iR.Hi && i < a.Rows; i++ {
 		if i < 0 {
 			continue
@@ -65,7 +83,13 @@ func RestrictedGustavson(a, b *tensor.CSR, iR, kR, jR Range, spa *SPA) TaskResul
 		var rowMACCs int64
 		for p := lo; p < hi; p++ {
 			k := a.Idx[p]
-			blo, bhi := b.RowRange(k, jR.Lo, jR.Hi)
+			var blo, bhi int
+			if off := k - kR.Lo; kGen[off] == spa.kCur {
+				blo, bhi = kLo[off], kHi[off]
+			} else {
+				blo, bhi = b.RowRange(k, jR.Lo, jR.Hi)
+				kGen[off], kLo[off], kHi[off] = spa.kCur, blo, bhi
+			}
 			rowMACCs += int64(bhi - blo)
 			for q := blo; q < bhi; q++ {
 				spa.Add(b.Idx[q], a.Val[p]*b.Val[q])
@@ -118,6 +142,11 @@ type SPA struct {
 	// rows is the RestrictedGustavson per-task RowWork scratch, pooled
 	// here so both engine call sites share one reusable buffer.
 	rows []RowWork
+	// kLo/kHi memoize b.RowRange per contracted coordinate within one
+	// RestrictedGustavson call; kGen generation-stamps entries (kCur is
+	// bumped per call) so stale ranges are never read across tasks.
+	kLo, kHi, kGen []int
+	kCur           int
 }
 
 // NewSPA returns an accumulator covering column coordinates [0, width).

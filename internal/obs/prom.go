@@ -127,12 +127,26 @@ func (p *Progress) WriteProm(w io.Writer) error {
 	gauge("drt_progress_work_total", float64(s.WorkTotal))
 	gauge("drt_progress_eta_seconds", s.ETASeconds)
 	gauge("drt_progress_elapsed_seconds", s.ElapsedSeconds)
+	if s.Sched != "" {
+		fmt.Fprintf(&b, "# TYPE drt_progress_info gauge\ndrt_progress_info{sched=%q} 1\n", promEscape(s.Sched))
+	}
 	if len(s.Workers) > 0 {
 		b.WriteString("# TYPE drt_progress_worker_utilization gauge\n")
 		sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].Worker < s.Workers[j].Worker })
+		lo, hi := s.Workers[0].Utilization, s.Workers[0].Utilization
 		for _, ws := range s.Workers {
 			fmt.Fprintf(&b, "drt_progress_worker_utilization{worker=\"%d\"} %s\n", ws.Worker, promFloat(ws.Utilization))
+			if ws.Utilization < lo {
+				lo = ws.Utilization
+			}
+			if ws.Utilization > hi {
+				hi = ws.Utilization
+			}
 		}
+		// The spread is the balance observable: LPT's longest-first stealing
+		// should pull it toward 0, FIFO's index order leaves the long tail
+		// on whichever worker drew it.
+		gauge("drt_progress_worker_utilization_spread", hi-lo)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

@@ -68,9 +68,11 @@ func TestWritePromNilCollector(t *testing.T) {
 
 func TestProgressWritePromGolden(t *testing.T) {
 	p, advance := fakeClock(t)
+	p.SetSched("lpt")
 	p.AddCells(4, 100)
 	advance(10 * time.Second)
 	p.CellDone(2, 8*time.Second, 25)
+	p.CellDone(3, 3*time.Second, 25)
 	p.TaskDone(7)
 
 	var sb strings.Builder
@@ -78,7 +80,7 @@ func TestProgressWritePromGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := `# TYPE drt_progress_cells_done gauge
-drt_progress_cells_done 1
+drt_progress_cells_done 2
 # TYPE drt_progress_cells_total gauge
 drt_progress_cells_total 4
 # TYPE drt_progress_tasks_done gauge
@@ -86,15 +88,20 @@ drt_progress_tasks_done 7
 # TYPE drt_progress_tasks_extracted gauge
 drt_progress_tasks_extracted 0
 # TYPE drt_progress_work_done gauge
-drt_progress_work_done 25
+drt_progress_work_done 50
 # TYPE drt_progress_work_total gauge
 drt_progress_work_total 100
 # TYPE drt_progress_eta_seconds gauge
-drt_progress_eta_seconds 30
+drt_progress_eta_seconds 10
 # TYPE drt_progress_elapsed_seconds gauge
 drt_progress_elapsed_seconds 10
+# TYPE drt_progress_info gauge
+drt_progress_info{sched="lpt"} 1
 # TYPE drt_progress_worker_utilization gauge
 drt_progress_worker_utilization{worker="2"} 0.8
+drt_progress_worker_utilization{worker="3"} 0.3
+# TYPE drt_progress_worker_utilization_spread gauge
+drt_progress_worker_utilization_spread 0.5
 `
 	if got := sb.String(); got != want {
 		t.Errorf("Progress WriteProm output:\n%s\nwant:\n%s", got, want)

@@ -1,7 +1,5 @@
 package tensor
 
-import "sort"
-
 // CSC is a compressed sparse column matrix (T-CU mirror of CSR): Ptr is the
 // per-column segment array, Idx holds row coordinates in increasing order
 // within each column. The paper's concordant traversals use CSC for the
@@ -29,8 +27,14 @@ func (c *CSC) Col(j int) Fiber {
 // coordinates fall inside [r0, r1).
 func (c *CSC) ColRange(j, r0, r1 int) (lo, hi int) {
 	s, e := c.Ptr[j], c.Ptr[j+1]
-	lo = s + sort.SearchInts(c.Idx[s:e], r0)
-	hi = s + sort.SearchInts(c.Idx[s:e], r1)
+	if s == e || c.Idx[e-1] < r0 {
+		return e, e
+	}
+	if c.Idx[s] >= r1 {
+		return s, s
+	}
+	lo = lowerBound(c.Idx, s, e, r0)
+	hi = lowerBound(c.Idx, lo, e, r1)
 	return lo, hi
 }
 

@@ -3,7 +3,6 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // CSR is a compressed sparse row matrix (T-UC in the paper's taxonomy):
@@ -82,11 +81,42 @@ func (c *CSR) Row(i int) Fiber {
 // RowRange returns the positions [lo, hi) within row i whose column
 // coordinates fall inside [c0, c1). It binary-searches the coordinate array,
 // mirroring the segment/coordinate lookups the tile extractor performs.
+// This is the innermost lookup of the restricted kernels — the micro-tile
+// task loops call it for every (row, window) pair — so it early-outs on
+// windows that miss the row's coordinate span entirely (the common case
+// for tile-sized windows over sparse rows) and uses open-coded lower
+// bounds instead of sort.SearchInts closures.
 func (c *CSR) RowRange(i, c0, c1 int) (lo, hi int) {
 	s, e := c.Ptr[i], c.Ptr[i+1]
-	lo = s + sort.SearchInts(c.Idx[s:e], c0)
-	hi = s + sort.SearchInts(c.Idx[s:e], c1)
+	if s == e || c.Idx[e-1] < c0 {
+		return e, e
+	}
+	if c.Idx[s] >= c1 {
+		return s, s
+	}
+	lo = lowerBound(c.Idx, s, e, c0)
+	hi = lowerBound(c.Idx, lo, e, c1)
 	return lo, hi
+}
+
+// lowerBound returns the first position in idx[lo:hi) whose value is >= v
+// (hi when none is), assuming idx ascending over that window. Windows are
+// row fragments whose typical length is a handful of elements, so the
+// search bisects only until the window is short and finishes with a
+// branch-predictable linear scan.
+func lowerBound(idx []int, lo, hi, v int) int {
+	for hi-lo > 16 {
+		m := int(uint(lo+hi) >> 1)
+		if idx[m] < v {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	for lo < hi && idx[lo] < v {
+		lo++
+	}
+	return lo
 }
 
 // At returns the value at (i, j), or 0 when the point is not stored.

@@ -2,6 +2,7 @@ package tiling
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"drt/internal/tensor"
@@ -83,7 +84,10 @@ func ParseMode(s string) (Mode, error) {
 // so the budget caps the dense representation near 200 MB per grid; beyond
 // it (e.g. the full-scale SuiteSparse matrices at -scale 1, whose grids
 // run to billions of cells) the compressed representation is the only one
-// that fits in memory.
+// that fits in memory. Below the budget dense stays the right call even
+// when construction churn is large: the growth probes issue rectangle
+// queries at a rate that dwarfs construction, and compressed queries pay
+// per-occupied-row binary searches where dense pays O(1).
 const DefaultCellBudget = 1 << 23
 
 // NewAutoGrid tiles m with the representation Auto mode selects.
@@ -155,6 +159,13 @@ func NewCompressedGridWithFormat(m *tensor.CSR, tileH, tileW int, f Format) *Com
 	mark := make([]int, g.GC)
 	epoch := 0
 	var touched []int
+	// Same power-of-two fast path as the dense grid: micro-tile edges are
+	// powers of two in every sweep, turning the per-element division into a
+	// shift.
+	shift := -1
+	if tileW&(tileW-1) == 0 {
+		shift = bits.TrailingZeros(uint(tileW))
+	}
 	flush := func(gr int) {
 		if len(touched) == 0 {
 			return
@@ -177,16 +188,17 @@ func NewCompressedGridWithFormat(m *tensor.CSR, tileH, tileW int, f Format) *Com
 		if hi > m.Rows {
 			hi = m.Rows
 		}
-		for i := gr * tileH; i < hi; i++ {
-			for p := m.Ptr[i]; p < m.Ptr[i+1]; p++ {
-				c := m.Idx[p] / tileW
-				if mark[c] != epoch {
-					mark[c] = epoch
-					cnt[c] = 0
-					touched = append(touched, c)
-				}
-				cnt[c]++
+		for _, j := range m.Idx[m.Ptr[gr*tileH]:m.Ptr[hi]] {
+			c := j / tileW
+			if shift >= 0 {
+				c = j >> shift
 			}
+			if mark[c] != epoch {
+				mark[c] = epoch
+				cnt[c] = 0
+				touched = append(touched, c)
+			}
+			cnt[c]++
 		}
 		flush(gr)
 	}

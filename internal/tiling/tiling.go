@@ -14,6 +14,7 @@ package tiling
 
 import (
 	"fmt"
+	"math/bits"
 
 	"drt/internal/tensor"
 )
@@ -109,16 +110,39 @@ func NewGridWithFormat(m *tensor.CSR, tileH, tileW int, f Format) *Grid {
 		GR: ceilDiv(m.Rows, tileH), GC: ceilDiv(m.Cols, tileW),
 		Format: f,
 	}
-	// Count non-zeros per grid cell. Rows of the parent map to grid rows
-	// directly; accumulate into a dense row of grid cells at a time.
-	counts := make([]int64, g.GR*g.GC)
-	for i := 0; i < m.Rows; i++ {
-		gr := i / tileH
-		for p := m.Ptr[i]; p < m.Ptr[i+1]; p++ {
-			counts[gr*g.GC+m.Idx[p]/tileW]++
-		}
+	g.allocSums()
+	// Count non-zeros one grid row at a time (the tileH parent rows of grid
+	// row gr map to it contiguously) and fold the row straight into the
+	// prefix sums: the working set is one GC-wide row instead of a full
+	// GR×GC counts array — grid construction is the dominant allocation of
+	// the micro-tile sweeps (Fig. 17, the auto-tile ablation), and the churn
+	// taxes every later GC cycle of a long-lived process.
+	row := make([]int64, g.GC)
+	// The counting loop runs once per non-zero; micro-tile edges are
+	// powers of two in every sweep, so the per-element division by tileW
+	// reduces to a shift on that path.
+	shift := -1
+	if tileW&(tileW-1) == 0 {
+		shift = bits.TrailingZeros(uint(tileW))
 	}
-	g.buildSums(counts)
+	for gr := 0; gr < g.GR; gr++ {
+		hi := (gr + 1) * tileH
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		lo, end := m.Ptr[gr*tileH], m.Ptr[hi]
+		if shift >= 0 {
+			for _, c := range m.Idx[lo:end] {
+				row[c>>shift]++
+			}
+		} else {
+			for _, c := range m.Idx[lo:end] {
+				row[c/tileW]++
+			}
+		}
+		g.buildSumRow(gr, row)
+		clear(row)
+	}
 	return g
 }
 
@@ -134,25 +158,45 @@ func newGridFromCounts(rows, cols, tileH, tileW int, counts []int64) *Grid {
 	return g
 }
 
+// allocSums sizes the three prefix-sum arrays (zeroed first row/column).
+func (g *Grid) allocSums() {
+	n := (g.GR + 1) * (g.GC + 1)
+	g.nnzSum = make([]int64, n)
+	g.fpSum = make([]int64, n)
+	g.tileSum = make([]int64, n)
+}
+
+// buildSums folds explicit per-cell counts into the prefix sums; the
+// arrays must have been sized by allocSums.
 func (g *Grid) buildSums(counts []int64) {
-	w := g.GC + 1
-	g.nnzSum = make([]int64, (g.GR+1)*w)
-	g.fpSum = make([]int64, (g.GR+1)*w)
-	g.tileSum = make([]int64, (g.GR+1)*w)
+	g.allocSums()
 	for r := 0; r < g.GR; r++ {
-		for c := 0; c < g.GC; c++ {
-			n := counts[r*g.GC+c]
-			var fp, tc int64
-			if n > 0 {
-				fp = MicroFootprintFormat(g.Format, g.TileH, int(n))
-				tc = 1
-			}
-			// inclusion-exclusion
-			idx := (r+1)*w + (c + 1)
-			g.nnzSum[idx] = n + g.nnzSum[r*w+c+1] + g.nnzSum[(r+1)*w+c] - g.nnzSum[r*w+c]
-			g.fpSum[idx] = fp + g.fpSum[r*w+c+1] + g.fpSum[(r+1)*w+c] - g.fpSum[r*w+c]
-			g.tileSum[idx] = tc + g.tileSum[r*w+c+1] + g.tileSum[(r+1)*w+c] - g.tileSum[r*w+c]
+		g.buildSumRow(r, counts[r*g.GC:(r+1)*g.GC])
+	}
+}
+
+// buildSumRow folds one grid row's cell counts into the prefix sums:
+// prefix[r+1][c+1] = rowsum_r[0..c] + prefix[r][c+1], so carrying the
+// current row's running sums reads only the row above, sequentially,
+// instead of a 3-corner inclusion-exclusion per cell.
+func (g *Grid) buildSumRow(r int, row []int64) {
+	w := g.GC + 1
+	var runN, runFp, runT int64
+	up := g.nnzSum[r*w : (r+1)*w]
+	lo := g.nnzSum[(r+1)*w : (r+2)*w]
+	upFp := g.fpSum[r*w : (r+1)*w]
+	loFp := g.fpSum[(r+1)*w : (r+2)*w]
+	upT := g.tileSum[r*w : (r+1)*w]
+	loT := g.tileSum[(r+1)*w : (r+2)*w]
+	for c, n := range row {
+		if n > 0 {
+			runFp += MicroFootprintFormat(g.Format, g.TileH, int(n))
+			runT++
 		}
+		runN += n
+		lo[c+1] = runN + up[c+1]
+		loFp[c+1] = runFp + upFp[c+1]
+		loT[c+1] = runT + upT[c+1]
 	}
 }
 

@@ -28,10 +28,11 @@
 #     timing cliffs (e.g. a sweep falling off the trace cache).
 #   ci's guarded set is Sec65Extraction|Fig12Replay (allocation-sensitive
 #     extraction/replay paths) plus Fig14Partition|Fig17MicroTile, the two
-#     benchmarks whose committed history already shows ns/op drift — the
-#     guard pins them against the *newest* snapshot so further drift
-#     fails, while `drtmetrics -check` reports the historical trend across
-#     all snapshots (see cmd/drtmetrics).
+#     benchmarks that drifted in mid-2026 (trace-capture overhead on
+#     one-shot sweep cells and retained-trace GC pressure, both since
+#     fixed) — the guard pins them against the *newest* snapshot so the
+#     recovered numbers stay recovered, while `drtmetrics -check` reports
+#     the historical trend across all snapshots (see cmd/drtmetrics).
 #
 # The default mode writes BENCH_<YYYY-MM-DD>.json at the repo root (never
 # clobbering an existing snapshot — same-day reruns get an _2, _3, …
