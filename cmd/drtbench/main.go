@@ -21,9 +21,10 @@
 // flight; -log off|info|debug emits structured slog records (run start/
 // end, per-experiment timing, slow cells, cache summaries) on stderr.
 //
-// Performance knobs (-parallel, -sched, -grid, -stream, -trace-cache)
-// change only how fast the evaluation runs, never what it prints — every
-// table is byte-identical at any setting. -parallel bounds the worker
+// Performance knobs (-parallel, -sched, -grid, -stream, -trace-cache,
+// -index, -operand-cache, -shard) change only how fast the evaluation
+// runs, never what it prints — every table is byte-identical at any
+// setting (for -shard, after drtmetrics -merge). -parallel bounds the worker
 // goroutines used for independent (workload × configuration) cells inside
 // each experiment (results are reassembled in input order, so -parallel 1
 // reproduces the sequential run exactly); -sched picks the dispatch order
@@ -35,7 +36,16 @@
 // DESIGN.md "Extraction pipeline"); -trace-cache (on by default) records
 // each reused (workload, tiling config) schedule on its second request
 // and retimes it for every later sweep point that only changes machine
-// speed or pricing knobs (see DESIGN.md "Trace record/replay").
+// speed or pricing knobs (see DESIGN.md "Trace record/replay");
+// -index picks the tensor index width (auto narrows to int32 when the
+// operands are large enough and every dimension fits); -operand-cache
+// (on by default) reuses large generated operands from a mmap-backed
+// on-disk cache keyed by the generator spec (DRT_OPERAND_CACHE overrides
+// the directory, "off" disables it); -shard k/n runs one contiguous
+// piece of the shardable experiments (fig6, fig7, tab3) so a full-scale
+// sweep spreads across machines, with drtmetrics -merge recombining the
+// per-shard -metrics-out dumps (see DESIGN.md "Compact tensors & operand
+// cache" and EXPERIMENTS.md for the merge recipe).
 //
 // -metrics-out writes every experiment's table as structured JSON together
 // with the run metadata (scale, workload generator specs, VCS revision),
@@ -45,7 +55,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,27 +62,15 @@ import (
 	"strings"
 	"time"
 
+	"drt/internal/accel"
 	"drt/internal/cli"
 	"drt/internal/exp"
+	"drt/internal/metrics"
 	"drt/internal/obs"
 	"drt/internal/obs/httpserve"
 	"drt/internal/par"
 	"drt/internal/tiling"
 )
-
-// expResult is one experiment's table in the -metrics-out dump.
-type expResult struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Headers []string   `json:"headers"`
-	Rows    [][]string `json:"rows"`
-	Seconds float64    `json:"seconds"`
-}
-
-type metricsDump struct {
-	Meta        map[string]string `json:"meta,omitempty"`
-	Experiments []expResult       `json:"experiments"`
-}
 
 func main() {
 	var (
@@ -90,11 +87,14 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		metricsOut = flag.String("metrics-out", "", "write all tables and run metadata as JSON to this file")
 		progress   = flag.Bool("progress", false, "print a live progress line (cells, tasks, nnz-weighted ETA) to stderr every second")
+		shardFlag  = flag.String("shard", "", "run piece k/n of the shardable experiments (fig6, fig7, tab3); merge the shards' -metrics-out dumps with drtmetrics -merge")
+		indexMode  = flag.String("index", "auto", "operand index width: auto (compact int32 when large operands fit) | wide | compact")
+		opCache    = flag.Bool("operand-cache", true, "reuse generated operands via the on-disk cache (DRT_OPERAND_CACHE; tables are bit-identical either way)")
 	)
 	listen := cli.AddListenFlag()
 	logLevel := cli.AddLogFlag()
 	prof := cli.AddProfileFlags()
-	cli.GroupUsage("drtbench", "Performance knobs", "parallel", "sched", "grid", "stream", "trace-cache")
+	cli.GroupUsage("drtbench", "Performance knobs", "parallel", "sched", "grid", "stream", "trace-cache", "index", "operand-cache", "shard")
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtbench")
@@ -133,6 +133,18 @@ func main() {
 	if err != nil {
 		cli.Usagef("drtbench: %v", err)
 	}
+	shard, err := exp.ParseShard(*shardFlag)
+	if err != nil {
+		cli.Usagef("drtbench: %v", err)
+	}
+	index, err := accel.ParseIndexMode(*indexMode)
+	if err != nil {
+		cli.Usagef("drtbench: %v", err)
+	}
+	if rec != nil {
+		rec.SetMeta("shard", shard.String())
+		rec.SetMeta("index", index.String())
+	}
 
 	// Live telemetry: the progress tracker exists when either consumer
 	// (the stderr line or the debug server) asked for it; installing it as
@@ -157,7 +169,7 @@ func main() {
 		defer stopLine()
 	}
 
-	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream, Sched: schedMode, NoTraceCache: !*traceCache, Progress: prog}
+	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream, Sched: schedMode, NoTraceCache: !*traceCache, Progress: prog, Shard: shard, Index: index, NoOperandCache: !*opCache}
 	if rec != nil {
 		opts.Rec = rec
 	}
@@ -172,12 +184,18 @@ func main() {
 	logger.Info("run start", "cmd", "drtbench", "exp", *expID, "scale", *scale,
 		"parallel", *parallel, "sched", schedMode.String(), "stream", *stream, "trace-cache", *traceCache)
 	runStart := time.Now()
-	var dump metricsDump
+	var dump metrics.Dump
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		f, ok := c.Runner(id)
 		if !ok {
 			cli.Usagef("drtbench: unknown experiment %q (use -list)", id)
+		}
+		if shard.Enabled() && shard.K > 0 && !exp.Shardable(id) {
+			// Non-shardable experiments run whole on shard 0; the other
+			// shards skip them so the merged dump holds exactly one copy.
+			fmt.Fprintf(os.Stderr, "drtbench: shard %s: skipping %s (not shardable; shard 0 runs it whole)\n", shard, id)
+			continue
 		}
 		span := rec.Begin(obs.CatPhase, "experiment")
 		prog.UnitStart(id)
@@ -197,13 +215,7 @@ func main() {
 			fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
 		}
 		if *metricsOut != "" {
-			dump.Experiments = append(dump.Experiments, expResult{
-				ID:      id,
-				Title:   table.Title,
-				Headers: table.Headers,
-				Rows:    table.Rows(),
-				Seconds: elapsed.Seconds(),
-			})
+			dump.Experiments = append(dump.Experiments, metrics.Result(id, table, elapsed.Seconds()))
 		}
 	}
 	stopProf()
@@ -227,9 +239,7 @@ func main() {
 		if err != nil {
 			cli.Fatalf("drtbench: -metrics-out: %v", err)
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(dump); err != nil {
+		if err := dump.WriteJSON(f); err != nil {
 			f.Close()
 			cli.Fatalf("drtbench: -metrics-out: %v", err)
 		}

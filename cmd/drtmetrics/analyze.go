@@ -7,12 +7,18 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 // Snapshot mirrors the JSON document scripts/bench.sh writes: one full
-// benchmark run with its environment stamp.
+// benchmark run with its environment stamp. Series is derived from the
+// filename: BENCH_<date>.json is the default (scaled) series, and a tag
+// between the prefix and the date — BENCH_scale1_<date>.json — names a
+// separate series, so full-scale runs never pollute the scaled drift
+// baselines (their ns/op differ by orders of magnitude).
 type Snapshot struct {
 	File       string  `json:"-"`
+	Series     string  `json:"-"`
 	Date       string  `json:"date"`
 	Go         string  `json:"go"`
 	Benchtime  string  `json:"benchtime"`
@@ -102,14 +108,31 @@ func LoadSnapshots(dir string) ([]Snapshot, error) {
 			return nil, fmt.Errorf("%s: %w", f, err)
 		}
 		s.File = filepath.Base(f)
+		s.Series = snapshotSeries(s.File)
 		snaps = append(snaps, s)
 	}
 	sort.SliceStable(snaps, func(i, j int) bool { return snaps[i].Date < snaps[j].Date })
 	return snaps, nil
 }
 
-// Analyze builds one Trend per benchmark name that appears in any
-// snapshot (restricted by match when non-nil), sorted by name.
+// snapshotSeries extracts the series tag from a snapshot filename:
+// "" for BENCH_<date>.json, "scale1" for BENCH_scale1_<date>.json (and
+// likewise for any other tag that is not a leading-digit date stamp).
+func snapshotSeries(base string) string {
+	name := strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json")
+	if i := strings.IndexByte(name, '_'); i > 0 {
+		name = name[:i]
+	}
+	if name == "" || name[0] >= '0' && name[0] <= '9' {
+		return ""
+	}
+	return name
+}
+
+// Analyze builds one Trend per (series, benchmark) pair that appears in
+// any snapshot (restricted by match when non-nil), sorted by name. Tagged
+// series (BENCH_scale1_*) prefix their trend names with "series/", so the
+// drift comparison never mixes points across series.
 func Analyze(snaps []Snapshot, match *regexp.Regexp) []Trend {
 	series := map[string][]Point{}
 	for _, s := range snaps {
@@ -117,7 +140,11 @@ func Analyze(snaps []Snapshot, match *regexp.Regexp) []Trend {
 			if match != nil && !match.MatchString(p.Name) {
 				continue
 			}
-			series[p.Name] = append(series[p.Name], p)
+			key := p.Name
+			if s.Series != "" {
+				key = s.Series + "/" + p.Name
+			}
+			series[key] = append(series[key], p)
 		}
 	}
 	names := make([]string, 0, len(series))

@@ -12,6 +12,19 @@
 //	drtmetrics -match 'Fig1[47]'        # restrict to matching benchmarks
 //	drtmetrics -check                   # exit 1 if any benchmark regressed
 //	drtmetrics -check -warn 'Fig14Partition|Fig17MicroTile'
+//	drtmetrics -merge -o t.json s0.json s1.json   # recombine shard dumps
+//
+// -merge switches to a different mode: the arguments are per-shard
+// metrics dumps from drtbench -shard k/n -metrics-out, given in shard
+// order, and the output is one dump byte-identical to the unsharded
+// run's (data rows concatenated, geomean rows recomputed — see
+// EXPERIMENTS.md for the recipe).
+//
+// Snapshot filenames carry an optional series tag between the prefix and
+// the date: BENCH_scale1_<date>.json (written by scripts/bench.sh scale1)
+// forms the "scale1" series, tracked separately from the default scaled
+// series — full-scale wall times never mix into the scaled drift
+// baselines; their trends print with a "scale1/" name prefix.
 //
 // A benchmark counts as regressed when its latest snapshot exceeds the
 // best (minimum) snapshot in the series by more than the tolerance:
@@ -36,6 +49,8 @@ import (
 
 func main() {
 	var (
+		merge       = flag.Bool("merge", false, "merge shard metrics dumps (drtbench -shard k/n -metrics-out …) given as arguments, in shard order, into one dump")
+		mergeOut    = flag.String("o", "", "with -merge: write the merged dump here (default stdout)")
 		dir         = flag.String("dir", ".", "directory holding the BENCH_*.json snapshots")
 		match       = flag.String("match", "", "regexp restricting which benchmarks are analyzed (empty = all)")
 		check       = flag.Bool("check", false, "exit 1 when any analyzed benchmark regressed beyond tolerance")
@@ -46,6 +61,37 @@ func main() {
 	)
 	flag.Parse()
 	defer cli.Cleanup()
+
+	if *merge {
+		if flag.NArg() < 1 {
+			cli.Usagef("drtmetrics: -merge needs the shard dump files as arguments, in shard order")
+		}
+		dumps := make([]metrics.Dump, 0, flag.NArg())
+		for _, f := range flag.Args() {
+			d, err := metrics.LoadDump(f)
+			if err != nil {
+				cli.Fatalf("drtmetrics: %v", err)
+			}
+			dumps = append(dumps, d)
+		}
+		merged, err := metrics.MergeDumps(dumps)
+		if err != nil {
+			cli.Fatalf("drtmetrics: %v", err)
+		}
+		out := os.Stdout
+		if *mergeOut != "" {
+			f, err := os.Create(*mergeOut)
+			if err != nil {
+				cli.Fatalf("drtmetrics: -o: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := merged.WriteJSON(out); err != nil {
+			cli.Fatalf("drtmetrics: %v", err)
+		}
+		return
+	}
 
 	matchRE, err := compile(*match)
 	if err != nil {

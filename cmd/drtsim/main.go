@@ -266,7 +266,8 @@ func printTrace(a *accel.Workload, microTile int) error {
 		canvas[r] = bytes.Repeat([]byte{'.'}, W)
 	}
 	glyphs := []byte("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789")
-	n, k := a.B.Cols, a.B.Rows
+	bRows, bCols, _ := a.BShape()
+	n, k := bCols, bRows
 	for i, t := range plan.Tasks {
 		g := glyphs[i%len(glyphs)]
 		r0 := t.K.Lo * H / k
@@ -371,8 +372,9 @@ func run(name string, w *accel.Workload, m sim.Machine, parallel int, sched par.
 // report renders the plain-text result breakdown.
 func report(out io.Writer, w *accel.Workload, r sim.Result, m sim.Machine) {
 	fa, fb := w.InputFootprint()
+	aRows, aCols, aNNZ := w.AShape()
 	fmt.Fprintf(out, "workload %s: A %dx%d (%d nnz), MACCs %d\n",
-		w.Name, w.A.Rows, w.A.Cols, w.A.NNZ(), w.MACCs)
+		w.Name, aRows, aCols, aNNZ, w.MACCs)
 	fmt.Fprintf(out, "input footprints: A %.3f MB, B %.3f MB, Z %.3f MB (read/write-once lower bound)\n",
 		metrics.MB(fa), metrics.MB(fb), metrics.MB(w.OutputFootprint()))
 	fmt.Fprintf(out, "DRAM traffic:     A %.3f MB, B %.3f MB, Z %.3f MB  (total %.3f MB)\n",
@@ -432,9 +434,7 @@ type jsonReport struct {
 func writeJSONReport(out io.Writer, w *accel.Workload, r sim.Result, m sim.Machine, rec *obs.Collector) error {
 	var rep jsonReport
 	rep.Workload.Name = w.Name
-	rep.Workload.Rows = w.A.Rows
-	rep.Workload.Cols = w.A.Cols
-	rep.Workload.NNZ = w.A.NNZ()
+	rep.Workload.Rows, rep.Workload.Cols, rep.Workload.NNZ = w.AShape()
 	rep.MACCs = w.MACCs
 	rep.Traffic.ABytes = r.Traffic.A
 	rep.Traffic.BBytes = r.Traffic.B

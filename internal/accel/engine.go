@@ -216,7 +216,7 @@ func runTasks(w *Workload, opt EngineOptions, trc *Trace) (sim.Result, error) {
 	res := sim.Result{Name: w.Name, MACCs: 0}
 	pe := sim.NewPEArray(opt.Machine.PEs)
 	out := newOutputModel(w, opt.CapO)
-	spa := kernels.NewSPA(w.B.Cols)
+	spa := kernels.NewSPA(w.BCols())
 	mt := w.MicroTile
 
 	// pendingLoad[op] holds the footprint of a rebuilt tile that has not
@@ -291,7 +291,7 @@ func runTasks(w *Workload, opt EngineOptions, trc *Trace) (sim.Result, error) {
 		iR := kernels.Range{Lo: t.Ranges[DimI].Lo * mt, Hi: t.Ranges[DimI].Hi * mt}
 		jR := kernels.Range{Lo: t.Ranges[DimJ].Lo * mt, Hi: t.Ranges[DimJ].Hi * mt}
 		kR := kernels.Range{Lo: t.Ranges[DimK].Lo * mt, Hi: t.Ranges[DimK].Hi * mt}
-		tr := kernels.RestrictedGustavson(w.A, w.B, iR, kR, jR, spa)
+		tr := w.Restricted(iR, kR, jR, spa)
 		tr.Record(opt.Rec)
 		res.MACCs += tr.MACCs
 		res.IntersectOps += tr.ScannedA + 2*tr.MACCs
@@ -546,7 +546,7 @@ func runPELevel(ps *peState, opt *EngineOptions, outer *core.Task, pe *sim.PEArr
 		iR := kernels.Range{Lo: t.Ranges[DimI].Lo * mt, Hi: t.Ranges[DimI].Hi * mt}
 		jR := kernels.Range{Lo: t.Ranges[DimJ].Lo * mt, Hi: t.Ranges[DimJ].Hi * mt}
 		kR := kernels.Range{Lo: t.Ranges[DimK].Lo * mt, Hi: t.Ranges[DimK].Hi * mt}
-		tr := kernels.RestrictedGustavson(w.A, w.B, iR, kR, jR, spa)
+		tr := w.Restricted(iR, kR, jR, spa)
 		st.maccs += tr.MACCs
 		cycles := sim.ComputeCycles(opt.Intersect, tr.ScannedA+2*tr.MACCs, tr.MACCs)
 		pe.Assign(cycles)

@@ -152,18 +152,11 @@ func untiledInvariant(w *accel.Workload) sim.Result {
 	res := sim.Result{Name: w.Name, MACCs: w.MACCs}
 	res.Traffic.A = fa
 	// Every A element (i,k) streams row k of B: Σ_k nnzA(·,k)·rowBytes(B_k).
-	aT := w.A.Transpose()
-	var bBytes int64
-	for k := 0; k < aT.Rows; k++ {
-		refs := int64(aT.Ptr[k+1] - aT.Ptr[k])
-		if refs == 0 {
-			continue
-		}
-		rowNNZ := int64(w.B.Ptr[k+1] - w.B.Ptr[k])
-		rowBytes := rowNNZ*(tensor.MetaBytes+tensor.ValueBytes) + 2*tensor.MetaBytes
-		bBytes += refs * rowBytes
+	if w.A32 != nil {
+		res.Traffic.B = untiledBBytes(w.A32, w.B32)
+	} else {
+		res.Traffic.B = untiledBBytes(w.A, w.B)
 	}
-	res.Traffic.B = bBytes
 	// Output rows complete on chip and are written exactly once.
 	res.Traffic.Z = w.OutputFootprint()
 	return res
@@ -175,6 +168,22 @@ func untiled(w *accel.Workload, opt Options) sim.Result {
 	res.ComputeCycles = float64(w.MACCs) / float64(opt.Machine.PEs)
 	res.RecordTo(opt.Rec)
 	return res
+}
+
+// untiledBBytes charges every A element (i,k) one stream of row k of B.
+func untiledBBytes[T tensor.Ix](a, b *tensor.Mat[T]) int64 {
+	aT := a.Transpose()
+	var bBytes int64
+	for k := 0; k < aT.Rows; k++ {
+		refs := int64(aT.Ptr[k+1] - aT.Ptr[k])
+		if refs == 0 {
+			continue
+		}
+		rowNNZ := int64(b.Ptr[k+1] - b.Ptr[k])
+		rowBytes := rowNNZ*(tensor.MetaBytes+tensor.ValueBytes) + 2*tensor.MetaBytes
+		bBytes += refs * rowBytes
+	}
+	return bBytes
 }
 
 // staticShape picks a dense-safe S-U-C shape (grid units).

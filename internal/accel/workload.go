@@ -27,7 +27,57 @@ type WorkloadConfig struct {
 	// sequentially, <0 selects one worker per CPU. The parallel kernels are
 	// bit-identical to the sequential ones, so this only affects wall time.
 	Parallel int
+	// Index selects the operand index width (IndexAuto compacts large
+	// operands to int32 when they fit; the engines are byte-identical in
+	// either width, pinned by TestCompactEngineEquivalence).
+	Index IndexMode
 }
+
+// IndexMode selects the in-memory index width of the workload operands.
+type IndexMode int
+
+const (
+	// IndexAuto compacts the operands to int32 indices when both fit and
+	// their combined occupancy reaches DefaultCompactNNZ — small (test-
+	// sized) workloads keep the historical wide representation, full-scale
+	// operands automatically halve their index memory and bandwidth.
+	IndexAuto IndexMode = iota
+	// IndexWide always keeps int indices.
+	IndexWide
+	// IndexCompact always compacts to int32 indices; workload construction
+	// fails when the operands do not fit.
+	IndexCompact
+)
+
+// String names the mode as the -index flag spells it.
+func (m IndexMode) String() string {
+	switch m {
+	case IndexWide:
+		return "wide"
+	case IndexCompact:
+		return "compact"
+	}
+	return "auto"
+}
+
+// ParseIndexMode parses a -index flag value.
+func ParseIndexMode(s string) (IndexMode, error) {
+	switch s {
+	case "auto", "":
+		return IndexAuto, nil
+	case "wide":
+		return IndexWide, nil
+	case "compact":
+		return IndexCompact, nil
+	}
+	return IndexAuto, fmt.Errorf("accel: unknown index mode %q (auto, wide or compact)", s)
+}
+
+// DefaultCompactNNZ is the IndexAuto occupancy threshold: operands whose
+// combined nnz reaches it (and whose shapes fit int32) are compacted.
+// Scaled-down experiment operands stay wide; the full-scale SuiteSparse /
+// SNAP matrices cross it and compact automatically.
+const DefaultCompactNNZ = 1 << 22
 
 // Workload is one SpMSpM instance Z = A·B prepared for simulation: the
 // operands pre-processed into micro tiles (Sec. 5.2.4) and the exact
@@ -35,8 +85,13 @@ type WorkloadConfig struct {
 // shared by every accelerator variant (the paper validates simulator
 // output sparsity against MKL; we validate against this reference).
 type Workload struct {
-	Name      string
+	Name string
+	// Exactly one operand pair is non-nil: A/B in wide (int) index form,
+	// or A32/B32 in compact (int32) form. Use the accessor methods — they
+	// dispatch on the active width — instead of touching the fields where
+	// the width is not known statically.
 	A, B      *tensor.CSR
+	A32, B32  *tensor.CSR32
 	MicroTile int
 
 	GA tiling.Summary // A as I×K (rows I)
@@ -69,29 +124,98 @@ func NewWorkloadWith(name string, a, b *tensor.CSR, cfg WorkloadConfig) (*Worklo
 	if mt < 1 {
 		return nil, fmt.Errorf("accel: %s: micro tile %d", name, mt)
 	}
+	w := &Workload{Name: name, MicroTile: mt}
+	compact := cfg.Index == IndexCompact
+	if cfg.Index == IndexAuto {
+		compact = a.CompactFits() && b.CompactFits() && a.NNZ()+b.NNZ() >= DefaultCompactNNZ
+	}
+	if compact {
+		if !a.CompactFits() || !b.CompactFits() {
+			return nil, fmt.Errorf("accel: %s: operands do not fit int32 indices", name)
+		}
+		w.A32 = a.Compact()
+		w.B32 = w.A32
+		if b != a {
+			w.B32 = b.Compact()
+		}
+	} else {
+		w.A, w.B = a, b
+	}
+	return finishWorkload(w, cfg)
+}
+
+// NewWorkloadOf32 is NewWorkloadWith for operands already in compact
+// (int32) form — the shape a cached .drtb load usually yields. The width
+// decision is identical to NewWorkloadWith (purely size-based under
+// IndexAuto), so a cached load and a fresh generation of the same operand
+// resolve to the same representation; when the resolved width is wide the
+// operands are widened, otherwise they are used directly with no copy.
+func NewWorkloadOf32(name string, a, b *tensor.CSR32, cfg WorkloadConfig) (*Workload, error) {
+	compact := cfg.Index == IndexCompact
+	if cfg.Index == IndexAuto {
+		compact = a.NNZ()+b.NNZ() >= DefaultCompactNNZ
+	}
+	if !compact {
+		aw := a.Widen()
+		bw := aw
+		if b != a {
+			bw = b.Widen()
+		}
+		return NewWorkloadWith(name, aw, bw, cfg)
+	}
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("accel: %s: A is %dx%d but B is %dx%d", name, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	mt := cfg.MicroTile
+	if mt < 1 {
+		return nil, fmt.Errorf("accel: %s: micro tile %d", name, mt)
+	}
+	w := &Workload{Name: name, MicroTile: mt, A32: a, B32: b}
+	return finishWorkload(w, cfg)
+}
+
+// finishWorkload runs the Gustavson reference over the already-installed
+// operands and builds the summary grids at the active index width.
+func finishWorkload(w *Workload, cfg WorkloadConfig) (*Workload, error) {
 	var z *tensor.CSR
 	var st kernels.Stats
-	if cfg.Parallel != 0 && cfg.Parallel != 1 {
-		z, st = kernels.GustavsonParallel(a, b, cfg.Parallel)
-	} else {
-		z, st = kernels.Gustavson(a, b)
+	parallel := cfg.Parallel != 0 && cfg.Parallel != 1
+	switch {
+	case w.A32 != nil && parallel:
+		z, st = kernels.GustavsonParallel(w.A32, w.B32, cfg.Parallel)
+	case w.A32 != nil:
+		z, st = kernels.Gustavson(w.A32, w.B32)
+	case parallel:
+		z, st = kernels.GustavsonParallel(w.A, w.B, cfg.Parallel)
+	default:
+		z, st = kernels.Gustavson(w.A, w.B)
 	}
-	ga := tiling.NewSummaryGrid(a, mt, mt, cfg.Format, cfg.Grid)
-	gb := ga
-	if b != a {
-		gb = tiling.NewSummaryGrid(b, mt, mt, cfg.Format, cfg.Grid)
+	mt := w.MicroTile
+	w.GA, w.GB = w.operandGrids(mt, cfg)
+	w.GZ = tiling.NewSummaryGrid(z, mt, mt, cfg.Format, cfg.Grid)
+	w.Z = z
+	w.MACCs = st.MACCs
+	return w, nil
+}
+
+// operandGrids builds the operand summary grids at the workload's active
+// index width; a square self-product (B and A the same tensor) shares one
+// grid for both operands.
+func (w *Workload) operandGrids(mt int, cfg WorkloadConfig) (ga, gb tiling.Summary) {
+	if w.A32 != nil {
+		ga = tiling.NewSummaryGrid(w.A32, mt, mt, cfg.Format, cfg.Grid)
+		gb = ga
+		if w.B32 != w.A32 {
+			gb = tiling.NewSummaryGrid(w.B32, mt, mt, cfg.Format, cfg.Grid)
+		}
+		return ga, gb
 	}
-	return &Workload{
-		Name:      name,
-		A:         a,
-		B:         b,
-		MicroTile: mt,
-		GA:        ga,
-		GB:        gb,
-		GZ:        tiling.NewSummaryGrid(z, mt, mt, cfg.Format, cfg.Grid),
-		Z:         z,
-		MACCs:     st.MACCs,
-	}, nil
+	ga = tiling.NewSummaryGrid(w.A, mt, mt, cfg.Format, cfg.Grid)
+	gb = ga
+	if w.B != w.A {
+		gb = tiling.NewSummaryGrid(w.B, mt, mt, cfg.Format, cfg.Grid)
+	}
+	return ga, gb
 }
 
 // Retile returns a workload sharing this one's operands and reference
@@ -106,22 +230,68 @@ func (w *Workload) Retile(cfg WorkloadConfig) (*Workload, error) {
 	if mt < 1 {
 		return nil, fmt.Errorf("accel: %s: micro tile %d", w.Name, mt)
 	}
-	ga := tiling.NewSummaryGrid(w.A, mt, mt, cfg.Format, cfg.Grid)
-	gb := ga
-	if w.B != w.A {
-		gb = tiling.NewSummaryGrid(w.B, mt, mt, cfg.Format, cfg.Grid)
-	}
-	return &Workload{
-		Name:      w.Name,
-		A:         w.A,
-		B:         w.B,
+	nw := &Workload{
+		Name: w.Name,
+		A:    w.A, B: w.B, A32: w.A32, B32: w.B32,
 		MicroTile: mt,
-		GA:        ga,
-		GB:        gb,
-		GZ:        tiling.NewSummaryGrid(w.Z, mt, mt, cfg.Format, cfg.Grid),
 		Z:         w.Z,
 		MACCs:     w.MACCs,
-	}, nil
+	}
+	nw.GA, nw.GB = nw.operandGrids(mt, cfg)
+	nw.GZ = tiling.NewSummaryGrid(w.Z, mt, mt, cfg.Format, cfg.Grid)
+	return nw, nil
+}
+
+// Compacted reports whether the operands are stored with int32 indices.
+func (w *Workload) Compacted() bool { return w.A32 != nil }
+
+// AShape returns A's shape and occupancy regardless of index width.
+func (w *Workload) AShape() (rows, cols, nnz int) {
+	if w.A32 != nil {
+		return w.A32.Rows, w.A32.Cols, w.A32.NNZ()
+	}
+	return w.A.Rows, w.A.Cols, w.A.NNZ()
+}
+
+// BShape returns B's shape and occupancy regardless of index width.
+func (w *Workload) BShape() (rows, cols, nnz int) {
+	if w.B32 != nil {
+		return w.B32.Rows, w.B32.Cols, w.B32.NNZ()
+	}
+	return w.B.Rows, w.B.Cols, w.B.NNZ()
+}
+
+// BCols returns the output column extent (B's column count).
+func (w *Workload) BCols() int {
+	_, cols, _ := w.BShape()
+	return cols
+}
+
+// BRowNNZ returns the occupancy of row k of B.
+func (w *Workload) BRowNNZ(k int) int64 {
+	if w.B32 != nil {
+		return int64(w.B32.Ptr[k+1] - w.B32.Ptr[k])
+	}
+	return int64(w.B.Ptr[k+1] - w.B.Ptr[k])
+}
+
+// Restricted computes the range-restricted partial product over the active
+// operand width — the engines' compute kernel, byte-identical across
+// widths (the index type never enters the arithmetic).
+func (w *Workload) Restricted(iR, kR, jR kernels.Range, spa *kernels.SPA) kernels.TaskResult {
+	if w.A32 != nil {
+		return kernels.RestrictedGustavson(w.A32, w.B32, iR, kR, jR, spa)
+	}
+	return kernels.RestrictedGustavson(w.A, w.B, iR, kR, jR, spa)
+}
+
+// SuggestMicroTile picks the footprint-minimizing micro-tile edge for A
+// from the candidates (tiling.SuggestMicroTile at the active width).
+func (w *Workload) SuggestMicroTile(candidates ...int) int {
+	if w.A32 != nil {
+		return tiling.SuggestMicroTile(w.A32, candidates...)
+	}
+	return tiling.SuggestMicroTile(w.A, candidates...)
 }
 
 // Kernel assembles the I,J,K DRT kernel description for this workload with

@@ -66,7 +66,7 @@ func hitFraction(llc, workingSet int64) float64 {
 // reuse; Z is written once.
 func SpMSpM(w *accel.Workload, cpu CPU) Result {
 	fa, fb := w.InputFootprint()
-	streamB := streamedBBytes(w.A, w.B)
+	streamB := StreamedBBytesW(w)
 	hit := hitFraction(cpu.LLCBytes, fb)
 	trafficB := fb
 	if extra := streamB - fb; extra > 0 {
@@ -76,16 +76,22 @@ func SpMSpM(w *accel.Workload, cpu CPU) Result {
 	return rooflineResult(traffic, w.MACCs, cpu)
 }
 
-// streamedBBytes returns StreamedBBytes; kept for internal call sites.
-func streamedBBytes(a, b *tensor.CSR) int64 { return StreamedBBytes(a, b) }
+// StreamedBBytesW returns StreamedBBytes over a workload's operands at
+// their active index width.
+func StreamedBBytesW(w *accel.Workload) int64 {
+	if w.A32 != nil {
+		return StreamedBBytes(w.A32, w.B32)
+	}
+	return StreamedBBytes(w.A, w.B)
+}
 
 // StreamedBBytes returns the no-reuse volume of B row fetches in row-wise
 // SpMSpM: Σ_k nnz(A·,k)·rowBytes(B_k). It is the untiled software
 // baseline's B traffic (Study 3) and MatRaptor's untiled B model.
-func StreamedBBytes(a, b *tensor.CSR) int64 {
+func StreamedBBytes[T tensor.Ix](a, b *tensor.Mat[T]) int64 {
 	colRefs := make([]int64, a.Cols)
 	for _, k := range a.Idx {
-		colRefs[k]++
+		colRefs[int(k)]++
 	}
 	var total int64
 	for k := 0; k < b.Rows; k++ {

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"testing"
+
+	"drt/internal/gen"
+	"drt/internal/obs"
+	"drt/internal/tensor"
+	"drt/internal/workloads"
+)
+
+// TestOperandCacheIdentity pins the operand-cache contract end to end: a
+// workload built from a cold cache write, one from a warm (typically
+// mmap-backed) cache read, and one bypassing the cache entirely are
+// indistinguishable — same reference product, MACCs and tile summaries —
+// and the warm run actually hits the cache.
+func TestOperandCacheIdentity(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("DRT_OPERAND_CACHE", dir)
+
+	// An entry big enough at this scale to engage the cache (and the
+	// compact index path: combined nnz crosses DefaultCompactNNZ too).
+	const scale = 4
+	var entry workloads.Entry
+	best := 0
+	for _, e := range workloads.Table3 {
+		if nnz := e.Spec(scale).NNZ; nnz > best {
+			entry, best = e, nnz
+		}
+	}
+	if best < gen.CacheMinNNZ {
+		t.Fatalf("no Table3 entry reaches CacheMinNNZ at scale %d", scale)
+	}
+
+	opt := Options{Scale: scale, MicroTile: 8, Parallel: 2}
+	build := func(noCache bool) (*obs.Collector, *workloadsResult) {
+		rec := obs.NewCollector()
+		o := opt
+		o.NoOperandCache = noCache
+		o.Rec = rec
+		c := NewContext(o)
+		w, err := c.Square(entry)
+		if err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		fa, fb := w.InputFootprint()
+		return rec, &workloadsResult{
+			z: w.Z, maccs: w.MACCs, compact: w.Compacted(),
+			fa: fa, fb: fb, fz: w.OutputFootprint(),
+		}
+	}
+
+	_, fresh := build(true)
+	coldRec, cold := build(false)
+	warmRec, warm := build(false)
+
+	if coldRec.Counter("operand_cache.misses") != 1 {
+		t.Fatalf("cold run misses = %d, want 1", coldRec.Counter("operand_cache.misses"))
+	}
+	if warmRec.Counter("operand_cache.hits") != 1 {
+		t.Fatalf("warm run hits = %d, want 1", warmRec.Counter("operand_cache.hits"))
+	}
+	for name, got := range map[string]*workloadsResult{"cold": cold, "warm": warm} {
+		if !got.z.Equal(fresh.z) {
+			t.Fatalf("%s: reference product differs from cache-bypassing build", name)
+		}
+		if got.maccs != fresh.maccs || got.compact != fresh.compact ||
+			got.fa != fresh.fa || got.fb != fresh.fb || got.fz != fresh.fz {
+			t.Fatalf("%s: workload stats differ: %+v vs %+v", name, got, fresh)
+		}
+	}
+	if !fresh.compact {
+		t.Fatalf("fixture too small: expected the compact index path at scale %d", scale)
+	}
+}
+
+type workloadsResult struct {
+	z          *tensor.CSR
+	maccs      int64
+	compact    bool
+	fa, fb, fz int64
+}

@@ -20,9 +20,11 @@ import (
 
 	"drt/internal/accel"
 	"drt/internal/cpuref"
+	"drt/internal/gen"
 	"drt/internal/obs"
 	"drt/internal/par"
 	"drt/internal/sim"
+	"drt/internal/tensor"
 	"drt/internal/tiling"
 	"drt/internal/workloads"
 )
@@ -66,6 +68,21 @@ type Options struct {
 	// the 256 MiB default; negative disables eviction. Eviction only costs
 	// a re-recording on a later request, never changes a table.
 	TraceBudget int64
+	// Shard restricts the shardable experiments (fig6, fig7, tab3 — the
+	// full-scale sweeps) to one contiguous block of their per-matrix cells.
+	// Shard k of n runs rows [k·m/n, (k+1)·m/n) of the deterministic entry
+	// order, so the shards' tables concatenate (and their metrics dumps
+	// merge, see metrics.MergeDumps) into exactly the unsharded tables.
+	Shard Shard
+	// Index selects the operand index width (accel.IndexAuto compacts
+	// large operands to int32 when they fit). Engine results are
+	// byte-identical in either width, so tables do not depend on it.
+	Index accel.IndexMode
+	// NoOperandCache bypasses the on-disk operand cache for this run even
+	// when DRT_OPERAND_CACHE enables it. Cached and fresh operands are
+	// bit-identical (pinned by gen's round-trip tests), so this knob never
+	// changes a table.
+	NoOperandCache bool
 	// Sched selects the worker pool's dispatch order (par.FIFO index order
 	// or par.LPT longest-first with work stealing). Cells are reassembled
 	// in input order either way, so every table is byte-identical at any
@@ -312,15 +329,40 @@ func (c *Context) buildSquare(e workloads.Entry) (*accel.Workload, error) {
 	rec := obs.OrNop(c.Opt.Rec)
 	span := rec.Begin(obs.CatPhase, "prepare")
 	defer rec.End(span)
-	if spec, err := json.Marshal(e.Spec(c.Opt.Scale)); err == nil {
-		rec.SetMeta("workload."+e.Name+".spec", string(spec))
+	spec := e.Spec(c.Opt.Scale)
+	if blob, err := json.Marshal(spec); err == nil {
+		rec.SetMeta("workload."+e.Name+".spec", string(blob))
 	}
-	a := e.Generate(c.Opt.Scale)
-	w, err := accel.NewWorkloadWith(e.Name, a, a, c.workloadConfig())
+	op, err := c.operand(spec, rec)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
+	}
+	var w *accel.Workload
+	if op.Compact != nil {
+		w, err = accel.NewWorkloadOf32(e.Name, op.Compact, op.Compact, c.workloadConfig())
+	} else {
+		w, err = accel.NewWorkloadWith(e.Name, op.Wide, op.Wide, c.workloadConfig())
+	}
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", e.Name, err)
 	}
 	return w, nil
+}
+
+// operand materializes one generator spec, through the on-disk operand
+// cache unless the run opted out. A cache hit may be mmap-backed; its
+// arrays are threaded into the memoized workload (which lives as long as
+// the context), so the mapping is deliberately left open for the process
+// lifetime rather than closed.
+func (c *Context) operand(spec gen.Spec, rec obs.Recorder) (*tensor.Operand, error) {
+	if c.Opt.NoOperandCache {
+		m, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		return &tensor.Operand{Wide: m}, nil
+	}
+	return gen.CachedBuild(spec, rec)
 }
 
 // workloadConfig is the workload pre-processing configuration the context's
@@ -331,7 +373,66 @@ func (c *Context) workloadConfig() accel.WorkloadConfig {
 		MicroTile: c.Opt.MicroTile,
 		Grid:      c.Opt.Grid,
 		Parallel:  c.Opt.Parallel,
+		Index:     c.Opt.Index,
 	}
+}
+
+// Shard names one slice of a sharded sweep: piece K of N. The zero value
+// (and N <= 1) means unsharded.
+type Shard struct {
+	K, N int
+}
+
+// Enabled reports whether the shard actually restricts anything.
+func (s Shard) Enabled() bool { return s.N > 1 }
+
+// String renders the shard as the -shard flag spells it.
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.K, s.N)
+}
+
+// ParseShard parses a -shard flag value "k/n" with 0 <= k < n. The empty
+// string is the unsharded zero value.
+func ParseShard(v string) (Shard, error) {
+	if v == "" {
+		return Shard{}, nil
+	}
+	var s Shard
+	if _, err := fmt.Sscanf(v, "%d/%d", &s.K, &s.N); err != nil {
+		return Shard{}, fmt.Errorf("exp: shard %q is not k/n", v)
+	}
+	if s.N < 1 || s.K < 0 || s.K >= s.N {
+		return Shard{}, fmt.Errorf("exp: shard %q needs 0 <= k < n", v)
+	}
+	return s, nil
+}
+
+// Shardable reports whether an experiment partitions cleanly by catalog
+// entry (its table is a concatenation of independent per-matrix rows plus
+// recomputable geomean rows). The rest either aggregate across entries
+// (fig1) or post-sort their rows (fig8), so a sharded run executes them on
+// shard 0 only.
+func Shardable(id string) bool {
+	switch id {
+	case "fig6", "fig7", "tab3":
+		return true
+	}
+	return false
+}
+
+// shardBlock cuts the shard's contiguous block out of the deterministic
+// cell list: rows [K·m/N, (K+1)·m/N). Contiguity is what makes the merge
+// a concatenation.
+func shardBlock[T any](s Shard, xs []T) []T {
+	if !s.Enabled() {
+		return xs
+	}
+	lo := s.K * len(xs) / s.N
+	hi := (s.K + 1) * len(xs) / s.N
+	return xs[lo:hi]
 }
 
 // fig6Entries returns the Fig. 6 matrix set, truncated per MaxWorkloads

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"drt/internal/metrics"
+)
+
+func TestParseShard(t *testing.T) {
+	for _, bad := range []string{"x", "1", "3/3", "-1/2", "2/0", "1/1/1"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+	s, err := ParseShard("2/5")
+	if err != nil || s != (Shard{K: 2, N: 5}) {
+		t.Fatalf("ParseShard(2/5) = %+v, %v", s, err)
+	}
+	if z, err := ParseShard(""); err != nil || z.Enabled() {
+		t.Fatalf("ParseShard(\"\") = %+v, %v", z, err)
+	}
+}
+
+func TestShardBlockPartition(t *testing.T) {
+	xs := []int{0, 1, 2, 3, 4, 5, 6}
+	for _, n := range []int{1, 2, 3, 7, 10} {
+		var got []int
+		for k := 0; k < n; k++ {
+			got = append(got, shardBlock(Shard{K: k, N: n}, xs)...)
+		}
+		if !reflect.DeepEqual(got, xs) {
+			t.Fatalf("n=%d: shard blocks reassemble to %v", n, got)
+		}
+	}
+}
+
+// TestShardMergeIdentity pins the sharding contract end to end: running
+// the shardable experiments as k/n pieces and merging the shards' metrics
+// dumps (through a real JSON round trip, as drtmetrics -merge would)
+// reproduces the unsharded tables byte for byte — data rows, geomean rows
+// and formatting.
+func TestShardMergeIdentity(t *testing.T) {
+	base := Options{Scale: 32, MicroTile: 8, MaxWorkloads: 6, Parallel: 2}
+	ids := []string{"tab3", "fig6"}
+
+	runDump := func(opt Options) metrics.Dump {
+		t.Helper()
+		c := NewContext(opt)
+		var d metrics.Dump
+		for _, id := range ids {
+			f, ok := c.Runner(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			tb, err := f()
+			if err != nil {
+				t.Fatalf("%s (shard %v): %v", id, opt.Shard, err)
+			}
+			d.Experiments = append(d.Experiments, metrics.Result(id, tb, 0))
+		}
+		return d
+	}
+
+	want := runDump(base)
+
+	const n = 3
+	var dumps []metrics.Dump
+	for k := 0; k < n; k++ {
+		opt := base
+		opt.Shard = Shard{K: k, N: n}
+		d := runDump(opt)
+		// Round-trip through JSON exactly as shard files would.
+		blob, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rt metrics.Dump
+		if err := json.Unmarshal(blob, &rt); err != nil {
+			t.Fatal(err)
+		}
+		dumps = append(dumps, rt)
+	}
+	merged, err := metrics.MergeDumps(dumps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(merged.Experiments) != len(want.Experiments) {
+		t.Fatalf("merged %d experiments, want %d", len(merged.Experiments), len(want.Experiments))
+	}
+	for i, w := range want.Experiments {
+		g := merged.Experiments[i]
+		if g.ID != w.ID || g.Title != w.Title || !reflect.DeepEqual(g.Headers, w.Headers) {
+			t.Fatalf("experiment %d shape: got %s/%q, want %s/%q", i, g.ID, g.Title, w.ID, w.Title)
+		}
+		if !reflect.DeepEqual(g.Rows, w.Rows) {
+			t.Fatalf("%s: merged rows differ from unsharded:\n got %v\nwant %v", w.ID, g.Rows, w.Rows)
+		}
+		if g.Table().String() != w.Table().String() {
+			t.Fatalf("%s: merged table text differs", w.ID)
+		}
+	}
+}

@@ -125,8 +125,7 @@ func (c *Context) Fig06() (*metrics.Table, error) {
 	t := metrics.NewTable("Fig. 6: S² speedup over CPU (× ; 'bound' columns are the red dots)",
 		"matrix", "group", "ExTensor", "ExT-bound", "ExTensor-OP", "OP-bound", "OP-DRT", "DRT-bound")
 	m := c.Machine()
-	geo := map[extensor.Variant][]float64{}
-	rows, err := forEntries(c, c.fig6Entries(), func(e workloads.Entry) (fig6Row, error) {
+	rows, err := forEntries(c, shardBlock(c.Opt.Shard, c.fig6Entries()), func(e workloads.Entry) (fig6Row, error) {
 		return c.fig6Row(e, variants)
 	})
 	if err != nil {
@@ -138,14 +137,13 @@ func (c *Context) Fig06() (*metrics.Table, error) {
 		for _, v := range variants {
 			a, b := row.speedup(m, v)
 			cells = append(cells, a, b)
-			geo[v] = append(geo[v], a)
 		}
 		t.AddRow(cells...)
 	}
-	t.AddRow("geomean", "",
-		metrics.Geomean(geo[extensor.Original]), "",
-		metrics.Geomean(geo[extensor.OP]), "",
-		metrics.Geomean(geo[extensor.OPDRT]), "")
+	t.AddGeomeanRow("geomean", "",
+		metrics.GeomeanCol, "",
+		metrics.GeomeanCol, "",
+		metrics.GeomeanCol, "")
 	return t, nil
 }
 
@@ -157,11 +155,11 @@ func (c *Context) Fig07() (*metrics.Table, error) {
 		"workload", "shape", "ExTensor", "ExTensor-OP", "OP-DRT", "DRT-bound")
 	m := c.Machine()
 	opt := c.extensorOptions()
-	geo := map[extensor.Variant][]float64{}
 	entries := c.fig6Entries()
 	if len(entries) > 8 && c.Opt.MaxWorkloads == 0 {
 		entries = entries[:8]
 	}
+	entries = shardBlock(c.Opt.Shard, entries)
 	// One cell per (entry, orientation): both tall-skinny products of one
 	// matrix are independent of every other cell.
 	type pairRow struct {
@@ -212,15 +210,14 @@ func (c *Context) Fig07() (*metrics.Table, error) {
 		cells := []any{row.name, row.suffix}
 		for _, v := range variants {
 			cells = append(cells, row.speedup[v])
-			geo[v] = append(geo[v], row.speedup[v])
 		}
 		cells = append(cells, row.drtBound)
 		t.AddRow(cells...)
 	}
-	t.AddRow("geomean", "",
-		metrics.Geomean(geo[extensor.Original]),
-		metrics.Geomean(geo[extensor.OP]),
-		metrics.Geomean(geo[extensor.OPDRT]), "")
+	t.AddGeomeanRow("geomean", "",
+		metrics.GeomeanCol,
+		metrics.GeomeanCol,
+		metrics.GeomeanCol, "")
 	return t, nil
 }
 

@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"fmt"
+
 	"drt/internal/metrics"
+	"drt/internal/obs"
 	"drt/internal/workloads"
 )
 
@@ -39,11 +42,34 @@ func (c *Context) Tab02() (*metrics.Table, error) {
 func (c *Context) Tab03() (*metrics.Table, error) {
 	t := metrics.NewTable("Table 3: sparse matrices (target vs generated at current scale)",
 		"matrix", "pattern", "target-dims", "target-nnz", "gen-dims", "gen-nnz", "gen-density", "row-var")
-	for _, e := range workloads.Table3 {
-		m := e.Generate(c.Opt.Scale)
+	entries := shardBlock(c.Opt.Shard, workloads.Table3)
+	type statRow struct {
+		rows, nnz       int
+		density, rowVar float64
+	}
+	rows, err := forEntries(c, entries, func(e workloads.Entry) (statRow, error) {
+		// Through the operand cache: at -scale 1 a warm run mmaps the
+		// stored .drtb instead of regenerating ~10M-nnz matrices.
+		op, err := c.operand(e.Spec(c.Opt.Scale), obs.OrNop(c.Opt.Rec))
+		if err != nil {
+			return statRow{}, fmt.Errorf("exp: %s: %w", e.Name, err)
+		}
+		r, _, nnz := op.Shape()
+		s := statRow{rows: r, nnz: nnz}
+		if op.Compact != nil {
+			s.density, s.rowVar = op.Compact.Density(), op.Compact.RowNNZVariation()
+		} else {
+			s.density, s.rowVar = op.Wide.Density(), op.Wide.RowNNZVariation()
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range entries {
 		t.AddRow(e.Name, e.Pattern.String(),
 			e.N, e.NNZ,
-			m.Rows, m.NNZ(), m.Density(), m.RowNNZVariation())
+			rows[i].rows, rows[i].nnz, rows[i].density, rows[i].rowVar)
 	}
 	return t, nil
 }

@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"drt/internal/obs"
+	"drt/internal/tensor"
+)
+
+// cacheFormatVersion is folded into every cache key; bump it whenever the
+// on-disk .drtb layout or a generator's output changes, so stale entries
+// are simply never looked up again.
+const cacheFormatVersion = 1
+
+// CacheMinNNZ gates the operand cache by target occupancy: matrices below
+// it regenerate faster than they deserialize, so only full-scale operands
+// (the -scale 1 SuiteSparse/SNAP stand-ins) hit the disk at all.
+const CacheMinNNZ = 1 << 18
+
+// CacheDir resolves the operand cache directory. DRT_OPERAND_CACHE
+// overrides it; the values "off", "none" and "0" (or an unresolvable user
+// cache dir) disable caching, reported as the empty string.
+func CacheDir() string {
+	switch v := os.Getenv("DRT_OPERAND_CACHE"); v {
+	case "":
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return ""
+		}
+		return filepath.Join(base, "drt-operands")
+	case "off", "none", "0":
+		return ""
+	default:
+		return v
+	}
+}
+
+// cacheKey content-addresses a spec: the sha256 of its canonical JSON form
+// plus the format version. Two specs that build the same matrix map to the
+// same file, whatever produced them.
+func cacheKey(spec Spec) string {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return "" // cannot happen for Spec; treated as uncacheable
+	}
+	h := sha256.Sum256(append(blob, []byte(fmt.Sprintf("|v%d", cacheFormatVersion))...))
+	return hex.EncodeToString(h[:])
+}
+
+// cacheFlight serializes concurrent misses of the same key within this
+// process, so parallel workloads sharing an operand generate it once.
+var cacheFlight sync.Map // key string → *sync.Mutex
+
+// CachedBuild materializes the spec through the operand cache: a hit
+// memory-maps (or, failing that, reads) the stored .drtb file; a miss
+// builds the matrix, stores it, and returns the in-memory build. Small
+// specs (below CacheMinNNZ) and a disabled cache build directly. Cache I/O
+// failures degrade to a fresh build — the cache can never fail a run that
+// generation alone would complete.
+//
+// Counters (flattened to drt_operand_cache_* in the Prometheus export):
+// operand_cache.hits, operand_cache.misses, operand_cache.bytes (bytes
+// served from disk by hits).
+//
+// A hit may be mmap-backed: the returned operand's arrays alias the
+// mapping and stay valid until Close. Callers that thread slices into
+// long-lived structures (exp does) should keep the operand open for the
+// process lifetime rather than Close it.
+func CachedBuild(spec Spec, rec obs.Recorder) (*tensor.Operand, error) {
+	if rec == nil {
+		rec = obs.Nop{}
+	}
+	dir := CacheDir()
+	key := cacheKey(spec)
+	if dir == "" || key == "" || spec.NNZ < CacheMinNNZ {
+		return buildOperand(spec)
+	}
+
+	mu, _ := cacheFlight.LoadOrStore(key, &sync.Mutex{})
+	mu.(*sync.Mutex).Lock()
+	defer mu.(*sync.Mutex).Unlock()
+
+	path := filepath.Join(dir, key+".drtb")
+	if op, err := tensor.OpenBinary(path); err == nil {
+		rec.Count("operand_cache.hits", 1)
+		if st, serr := os.Stat(path); serr == nil {
+			rec.Count("operand_cache.bytes", st.Size())
+		}
+		return op, nil
+	}
+
+	rec.Count("operand_cache.misses", 1)
+	op, err := buildOperand(spec)
+	if err != nil {
+		return nil, err
+	}
+	storeOperand(path, op) // best-effort; a failed store is just a future miss
+	return op, nil
+}
+
+// buildOperand builds the spec fresh and wraps it at its natural width:
+// compact when the shape fits int32, wide otherwise. Downstream width
+// selection is purely size-based, so cached and fresh loads of the same
+// spec resolve identically either way.
+func buildOperand(spec Spec) (*tensor.Operand, error) {
+	m, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if m.CompactFits() {
+		return &tensor.Operand{Compact: m.Compact()}, nil
+	}
+	return &tensor.Operand{Wide: m}, nil
+}
+
+// storeOperand writes the operand atomically: a temp file in the cache
+// directory renamed into place, so concurrent processes only ever observe
+// complete entries.
+func storeOperand(path string, op *tensor.Operand) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*.drtb")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if op.Compact != nil {
+		err = op.Compact.WriteBinary(tmp)
+	} else {
+		err = op.Wide.WriteBinary(tmp)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return
+	}
+	os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,122 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"drt/internal/obs"
+)
+
+var cacheSpec = Spec{Kind: "uniform", Rows: 2000, Cols: 2000, NNZ: CacheMinNNZ, Seed: 5}
+
+func cacheFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "*.drtb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCachedBuildRoundTrip pins cached ≡ fresh: the first call misses and
+// stores, the second hits (typically mmap-backed), and both are equal to a
+// direct Build of the same spec.
+func TestCachedBuildRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("DRT_OPERAND_CACHE", dir)
+	rec := obs.NewCollector()
+
+	cold, err := CachedBuild(cacheSpec, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("operand_cache.misses"); got != 1 {
+		t.Fatalf("cold call: misses = %d, want 1", got)
+	}
+	if got := rec.Counter("operand_cache.hits"); got != 0 {
+		t.Fatalf("cold call: hits = %d, want 0", got)
+	}
+	if files := cacheFiles(t, dir); len(files) != 1 {
+		t.Fatalf("cold call left %d cache files, want 1", len(files))
+	}
+
+	warm, err := CachedBuild(cacheSpec, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("operand_cache.hits"); got != 1 {
+		t.Fatalf("warm call: hits = %d, want 1", got)
+	}
+	if rec.Counter("operand_cache.bytes") <= 0 {
+		t.Fatal("warm call served 0 bytes from cache")
+	}
+
+	fresh, err := cacheSpec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Widened().Equal(fresh) {
+		t.Fatal("cold CachedBuild differs from Spec.Build")
+	}
+	if !warm.Widened().Equal(fresh) {
+		t.Fatal("warm CachedBuild differs from Spec.Build")
+	}
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var prom strings.Builder
+	if err := rec.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"drt_operand_cache_hits", "drt_operand_cache_misses", "drt_operand_cache_bytes"} {
+		if !strings.Contains(prom.String(), name) {
+			t.Errorf("Prometheus export missing %s", name)
+		}
+	}
+}
+
+// TestCachedBuildDisabled pins that "off" (and small specs) bypass the
+// disk entirely.
+func TestCachedBuildDisabled(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("DRT_OPERAND_CACHE", "off")
+	if CacheDir() != "" {
+		t.Fatal(`CacheDir() != "" with DRT_OPERAND_CACHE=off`)
+	}
+	rec := obs.NewCollector()
+	if _, err := CachedBuild(cacheSpec, rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Counter("operand_cache.misses")+rec.Counter("operand_cache.hits") != 0 {
+		t.Fatal("disabled cache still counted traffic")
+	}
+
+	t.Setenv("DRT_OPERAND_CACHE", dir)
+	small := Spec{Kind: "uniform", Rows: 100, Cols: 100, NNZ: 500, Seed: 1}
+	op, err := CachedBuild(small, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := small.Build()
+	if !op.Widened().Equal(fresh) {
+		t.Fatal("small-spec CachedBuild differs from Spec.Build")
+	}
+	if files := cacheFiles(t, dir); len(files) != 0 {
+		t.Fatalf("small spec (nnz < CacheMinNNZ) wrote %d cache files", len(files))
+	}
+}
+
+// TestCacheDirDefault pins the default location under the user cache dir.
+func TestCacheDirDefault(t *testing.T) {
+	t.Setenv("DRT_OPERAND_CACHE", "")
+	base, err := os.UserCacheDir()
+	if err != nil {
+		t.Skip("no user cache dir on this host")
+	}
+	if got, want := CacheDir(), filepath.Join(base, "drt-operands"); got != want {
+		t.Fatalf("CacheDir() = %q, want %q", got, want)
+	}
+}

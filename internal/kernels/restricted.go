@@ -47,7 +47,7 @@ type TaskResult struct {
 // scratch and is valid only until the next call with the same spa — the
 // simulator task loops consume it before issuing the next task, which
 // keeps the whole stream allocation-free (pinned by TestRestrictedAllocs).
-func RestrictedGustavson(a, b *tensor.CSR, iR, kR, jR Range, spa *SPA) TaskResult {
+func RestrictedGustavson[T tensor.Ix](a, b *tensor.Mat[T], iR, kR, jR Range, spa *SPA) TaskResult {
 	if spa == nil {
 		spa = NewSPA(b.Cols)
 	}
@@ -82,7 +82,7 @@ func RestrictedGustavson(a, b *tensor.CSR, iR, kR, jR Range, spa *SPA) TaskResul
 		spa.Reset()
 		var rowMACCs int64
 		for p := lo; p < hi; p++ {
-			k := a.Idx[p]
+			k := int(a.Idx[p])
 			var blo, bhi int
 			if off := k - kR.Lo; kGen[off] == spa.kCur {
 				blo, bhi = kLo[off], kHi[off]
@@ -92,7 +92,7 @@ func RestrictedGustavson(a, b *tensor.CSR, iR, kR, jR Range, spa *SPA) TaskResul
 			}
 			rowMACCs += int64(bhi - blo)
 			for q := blo; q < bhi; q++ {
-				spa.Add(b.Idx[q], a.Val[p]*b.Val[q])
+				spa.Add(int(b.Idx[q]), a.Val[p]*b.Val[q])
 			}
 		}
 		res.MACCs += rowMACCs

@@ -24,7 +24,7 @@ type Stats struct {
 // a sparse accumulator per output row. It is the primary reference
 // implementation: the simulators validate their output sparsity against it,
 // mirroring the paper's validation against Intel MKL.
-func Gustavson(a, b *tensor.CSR) (*tensor.CSR, Stats) {
+func Gustavson[T tensor.Ix](a, b *tensor.Mat[T]) (*tensor.CSR, Stats) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("kernels: spmspm shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -38,17 +38,17 @@ func Gustavson(a, b *tensor.CSR) (*tensor.CSR, Stats) {
 // whose Ptr slice must have length (r1-r0)+1; z.Ptr[i-r0+1] receives the
 // running nnz. Per-row emission uses the SPA's sorted-run merge, so the
 // inner loops are free of comparison sorts and per-row allocations.
-func gustavsonRows(a, b *tensor.CSR, r0, r1 int, spa *SPA, z *tensor.CSR) Stats {
+func gustavsonRows[T tensor.Ix](a, b *tensor.Mat[T], r0, r1 int, spa *SPA, z *tensor.CSR) Stats {
 	var st Stats
 	for i := r0; i < r1; i++ {
 		spa.Reset()
 		fa := a.Row(i)
 		for p, k := range fa.Coords {
 			av := fa.Vals[p]
-			fb := b.Row(k)
+			fb := b.Row(int(k))
 			st.MACCs += int64(fb.Len())
 			for q, j := range fb.Coords {
-				spa.Add(j, av*fb.Vals[q])
+				spa.Add(int(j), av*fb.Vals[q])
 			}
 		}
 		for _, j := range spa.SortedCols() {
@@ -69,7 +69,7 @@ func gustavsonRows(a, b *tensor.CSR, r0, r1 int, spa *SPA, z *tensor.CSR) Stats 
 // included — is bit-identical to the sequential kernel (each row's
 // accumulation order is unchanged). workers < 1 selects one per CPU;
 // workers == 1 falls through to the sequential path.
-func GustavsonParallel(a, b *tensor.CSR, workers int) (*tensor.CSR, Stats) {
+func GustavsonParallel[T tensor.Ix](a, b *tensor.Mat[T], workers int) (*tensor.CSR, Stats) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("kernels: spmspm shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -53,13 +54,120 @@ func Geomean(xs []float64) float64 {
 	return math.Exp(sum / float64(n))
 }
 
+// Cell is one raw table value with its kind preserved, so structured
+// exports can carry exact numeric values (a formatted "%.3g" string is
+// lossy) and shard merging can recompute derived rows bit-for-bit. It
+// marshals with a one-letter kind tag ({"s":…}, {"f":…}, {"i":…}) so the
+// int/float distinction survives the JSON round trip.
+type Cell struct {
+	Kind CellKind
+	S    string
+	F    float64
+	I    int64
+}
+
+// CellKind discriminates Cell's active field.
+type CellKind int
+
+const (
+	KindString CellKind = iota
+	KindFloat
+	KindInt
+)
+
+// cellOf classifies one AddRow argument. The type switch matches concrete
+// types only, so named types with their own String method (time.Duration,
+// flag enums, …) keep their historical %v rendering as strings.
+func cellOf(v any) Cell {
+	switch x := v.(type) {
+	case float64:
+		return Cell{Kind: KindFloat, F: x}
+	case float32:
+		return Cell{Kind: KindFloat, F: float64(x)}
+	case int:
+		return Cell{Kind: KindInt, I: int64(x)}
+	case int64:
+		return Cell{Kind: KindInt, I: x}
+	case int32:
+		return Cell{Kind: KindInt, I: int64(x)}
+	case string:
+		return Cell{Kind: KindString, S: x}
+	default:
+		return Cell{Kind: KindString, S: fmt.Sprintf("%v", v)}
+	}
+}
+
+// String formats the cell exactly as AddRow always has: floats with %.3g,
+// everything else with %v.
+func (c Cell) String() string {
+	switch c.Kind {
+	case KindFloat:
+		return fmt.Sprintf("%.3g", c.F)
+	case KindInt:
+		return fmt.Sprintf("%d", c.I)
+	}
+	return c.S
+}
+
+type cellJSON struct {
+	S *string  `json:"s,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	I *int64   `json:"i,omitempty"`
+}
+
+// MarshalJSON emits the kind-tagged form.
+func (c Cell) MarshalJSON() ([]byte, error) {
+	switch c.Kind {
+	case KindFloat:
+		return json.Marshal(cellJSON{F: &c.F})
+	case KindInt:
+		return json.Marshal(cellJSON{I: &c.I})
+	}
+	return json.Marshal(cellJSON{S: &c.S})
+}
+
+// UnmarshalJSON restores the kind-tagged form. An empty object decodes as
+// the empty string (the omitempty form of Cell{}).
+func (c *Cell) UnmarshalJSON(data []byte) error {
+	var j cellJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	switch {
+	case j.F != nil:
+		*c = Cell{Kind: KindFloat, F: *j.F}
+	case j.I != nil:
+		*c = Cell{Kind: KindInt, I: *j.I}
+	case j.S != nil:
+		*c = Cell{Kind: KindString, S: *j.S}
+	default:
+		*c = Cell{}
+	}
+	return nil
+}
+
+// GeomeanCol marks a column in an AddGeomeanRow call: the cell computes as
+// the geometric mean of that column over the table's data rows. Recording
+// the mask (instead of only the computed value) lets shard merging
+// recompute the row over the combined data.
+var GeomeanCol = geomeanCol{}
+
+type geomeanCol struct{}
+
+// tableRow is one table row: raw cells, plus the geomean-column mask for
+// derived rows (nil for plain data rows).
+type tableRow struct {
+	cells []Cell
+	geo   []bool
+}
+
 // Table renders experiment rows as an aligned plain-text table. It is
 // deliberately minimal: the benchmark harness prints the same rows/series
 // the paper's figures report, one table per figure.
 type Table struct {
 	Title   string
 	Headers []string
-	rows    [][]string
+	rows    []tableRow
 }
 
 // NewTable returns a table with the given title and column headers.
@@ -67,42 +175,136 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
-// AddRow appends a row; cells are formatted with %v, floats with %.3g.
+// AddRow appends a data row; cells are formatted with %v, floats with %.3g.
 func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
+	row := make([]Cell, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.3g", v)
-		case float32:
-			row[i] = fmt.Sprintf("%.3g", v)
-		default:
-			row[i] = fmt.Sprintf("%v", c)
-		}
+		row[i] = cellOf(c)
 	}
-	t.rows = append(t.rows, row)
+	t.rows = append(t.rows, tableRow{cells: row})
 }
 
-// NumRows returns the number of data rows added.
+// AddGeomeanRow appends a derived summary row: GeomeanCol arguments
+// compute as the geometric mean of their column over the data rows added
+// so far, other arguments are ordinary cells (labels, blanks). Sharded
+// runs recompute these rows after concatenating the shards' data rows, so
+// a merged table is bit-identical to the unsharded run.
+func (t *Table) AddGeomeanRow(cells ...any) {
+	row := tableRow{cells: make([]Cell, len(cells)), geo: make([]bool, len(cells))}
+	for i, c := range cells {
+		if _, ok := c.(geomeanCol); ok {
+			row.geo[i] = true
+			continue
+		}
+		row.cells[i] = cellOf(c)
+	}
+	t.rows = append(t.rows, row)
+	t.recomputeDerived()
+}
+
+// recomputeDerived fills every derived row's geomean columns from the
+// current data rows.
+func (t *Table) recomputeDerived() {
+	for ri := range t.rows {
+		r := &t.rows[ri]
+		if r.geo == nil {
+			continue
+		}
+		for i, g := range r.geo {
+			if !g {
+				continue
+			}
+			var xs []float64
+			for _, dr := range t.rows {
+				if dr.geo != nil || i >= len(dr.cells) {
+					continue
+				}
+				if c := dr.cells[i]; c.Kind == KindFloat {
+					xs = append(xs, c.F)
+				}
+			}
+			r.cells[i] = Cell{Kind: KindFloat, F: Geomean(xs)}
+		}
+	}
+}
+
+// NumRows returns the number of rows added (data and derived).
 func (t *Table) NumRows() int { return len(t.rows) }
 
-// Rows returns a copy of the formatted data rows, for structured exports
+// Rows returns a copy of the formatted rows, for structured exports
 // (e.g. the benchmark harness's JSON metrics dump).
 func (t *Table) Rows() [][]string {
 	out := make([][]string, len(t.rows))
 	for i, r := range t.rows {
-		out[i] = append([]string(nil), r...)
+		f := make([]string, len(r.cells))
+		for j, c := range r.cells {
+			f[j] = c.String()
+		}
+		out[i] = f
 	}
 	return out
 }
 
+// DataCells returns a copy of the raw data rows (derived rows excluded).
+func (t *Table) DataCells() [][]Cell {
+	var out [][]Cell
+	for _, r := range t.rows {
+		if r.geo == nil {
+			out = append(out, append([]Cell(nil), r.cells...))
+		}
+	}
+	return out
+}
+
+// DerivedRows returns the derived rows' specs: their label cells (geomean
+// columns zeroed) and masks.
+func (t *Table) DerivedRows() []DerivedRow {
+	var out []DerivedRow
+	for _, r := range t.rows {
+		if r.geo == nil {
+			continue
+		}
+		cells := append([]Cell(nil), r.cells...)
+		for i, g := range r.geo {
+			if g {
+				cells[i] = Cell{}
+			}
+		}
+		out = append(out, DerivedRow{Cells: cells, Geo: append([]bool(nil), r.geo...)})
+	}
+	return out
+}
+
+// DerivedRow is one serialized AddGeomeanRow spec.
+type DerivedRow struct {
+	Cells []Cell `json:"cells"`
+	Geo   []bool `json:"geo"`
+}
+
+// AddCellRow appends a pre-classified data row (used when rebuilding a
+// table from its structured export).
+func (t *Table) AddCellRow(cells []Cell) {
+	t.rows = append(t.rows, tableRow{cells: append([]Cell(nil), cells...)})
+}
+
+// AddDerivedRow appends a derived-row spec and recomputes it (the rebuild
+// counterpart of AddGeomeanRow).
+func (t *Table) AddDerivedRow(d DerivedRow) {
+	t.rows = append(t.rows, tableRow{
+		cells: append([]Cell(nil), d.Cells...),
+		geo:   append([]bool(nil), d.Geo...),
+	})
+	t.recomputeDerived()
+}
+
 // String renders the table.
 func (t *Table) String() string {
+	rows := t.Rows()
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
-	for _, r := range t.rows {
+	for _, r := range rows {
 		for i, c := range r {
 			if i < len(widths) && len(c) > widths[i] {
 				widths[i] = len(c)
@@ -129,7 +331,7 @@ func (t *Table) String() string {
 	}
 	b.WriteString(strings.Repeat("-", total))
 	b.WriteByte('\n')
-	for _, r := range t.rows {
+	for _, r := range rows {
 		writeRow(r)
 	}
 	return b.String()
@@ -155,7 +357,7 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	writeRow(t.Headers)
-	for _, r := range t.rows {
+	for _, r := range t.Rows() {
 		writeRow(r)
 	}
 	return b.String()

@@ -57,7 +57,7 @@ func Run(w *accel.Workload, opt Options) (Study, error) {
 	// Untiled row-wise SpMSpM: A streamed once, B rows fetched per
 	// referencing A element with no reuse, Z written once.
 	fa, _ := w.InputFootprint()
-	s.UntiledBytes = fa + cpuref.StreamedBBytes(w.A, w.B) + w.OutputFootprint()
+	s.UntiledBytes = fa + cpuref.StreamedBBytesW(w) + w.OutputFootprint()
 
 	capA, capB, capO := opt.Partition.Split(opt.LLCBytes)
 	base := accel.EngineOptions{

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package tensor
+
+// openBinaryMmap is unavailable on this platform; OpenBinary falls back
+// to reading the file into the heap.
+func openBinaryMmap(path string) (*Operand, bool, error) {
+	return nil, false, nil
+}

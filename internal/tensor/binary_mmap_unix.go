@@ -1,0 +1,44 @@
+//go:build unix
+
+package tensor
+
+import (
+	"os"
+	"strconv"
+	"syscall"
+)
+
+// openBinaryMmap memory-maps a .drtb file read-only. ok is false (with no
+// error) when the platform or host layout rules the fast path out and the
+// caller should fall back to a heap read: the mapping reinterprets the
+// file bytes as the in-memory arrays, which needs a little-endian host
+// with 64-bit ints (the wide form's element width).
+func openBinaryMmap(path string) (op *Operand, ok bool, err error) {
+	if !hostLittleEndian || strconv.IntSize != 64 {
+		return nil, false, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if st.Size() == 0 {
+		return nil, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (or exhausted address space)
+		// fall back to the heap read rather than failing the load.
+		return nil, false, nil
+	}
+	op, err = mapBinary(data, func() error { return syscall.Munmap(data) })
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, false, err
+	}
+	return op, true, nil
+}

@@ -1,0 +1,204 @@
+package tensor
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// randCSR builds a random matrix with the requested shape and target
+// occupancy, duplicate points collapsing as usual.
+func randCSR(t *testing.T, rng *rand.Rand, rows, cols, nnz int) *CSR {
+	t.Helper()
+	m := NewCOO(rows, cols)
+	for k := 0; k < nnz; k++ {
+		m.Append(rng.Intn(rows), rng.Intn(cols), rng.Float64()+0.5)
+	}
+	c := FromCOO(m)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("random matrix invalid: %v", err)
+	}
+	return c
+}
+
+// roundTrip writes m at both index widths (when the compact one fits),
+// reads each stream back and checks equality; the file-backed variants
+// additionally exercise ReadBinaryFile and the mmap OpenBinary path.
+func roundTrip(t *testing.T, m *CSR) {
+	t.Helper()
+	write := func(name string, f func(w io.Writer) error) *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := f(&buf); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		return &buf
+	}
+	check := func(name string, op *Operand) {
+		t.Helper()
+		if !op.Widened().Equal(m) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+	streams := map[string]*bytes.Buffer{
+		"wide": write("wide", m.WriteBinary),
+	}
+	if m.CompactFits() {
+		streams["compact"] = write("compact", m.Compact().WriteBinary)
+	}
+	dir := t.TempDir()
+	for name, buf := range streams {
+		op, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: ReadBinary: %v", name, err)
+		}
+		if name == "compact" && op.Compact == nil {
+			t.Fatalf("compact stream decoded wide")
+		}
+		check(name+"/read", op)
+
+		path := filepath.Join(dir, name+".drtb")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if want := BinarySize(m.Rows, m.NNZ(), map[string]int{"wide": 8, "compact": 4}[name]); int64(buf.Len()) != want {
+			t.Fatalf("%s: stream is %d bytes, BinarySize says %d", name, buf.Len(), want)
+		}
+		fop, err := ReadBinaryFile(path)
+		if err != nil {
+			t.Fatalf("%s: ReadBinaryFile: %v", name, err)
+		}
+		check(name+"/file", fop)
+		mop, err := OpenBinary(path)
+		if err != nil {
+			t.Fatalf("%s: OpenBinary: %v", name, err)
+		}
+		check(name+"/mmap", mop)
+		if err := mop.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string]*CSR{
+		"zero-nnz":      NewCSR(5, 9),
+		"zero-rows":     NewCSR(0, 4),
+		"single":        FromCOO(&COO{Rows: 3, Cols: 3, I: []int{1}, J: []int{2}, V: []float64{4.5}}),
+		"small-random":  randCSR(t, rng, 40, 60, 300),
+		"empty-rows":    randCSR(t, rng, 200, 10, 30), // most rows empty
+		"dense-ish":     randCSR(t, rng, 30, 30, 600),
+		"single-column": randCSR(t, rng, 100, 1, 50),
+	}
+	for name, m := range cases {
+		t.Run(name, func(t *testing.T) { roundTrip(t, m) })
+	}
+}
+
+// TestBinaryRandomProperty fuzzes shapes and occupancies.
+func TestBinaryRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for it := 0; it < 25; it++ {
+		rows := 1 + rng.Intn(120)
+		cols := 1 + rng.Intn(120)
+		nnz := rng.Intn(rows * cols / 2)
+		roundTrip(t, randCSR(t, rng, rows, cols, nnz))
+	}
+}
+
+// TestBinaryWideBoundary stores coordinates past the int32 range, forcing
+// the wide (int64) on-disk form.
+func TestBinaryWideBoundary(t *testing.T) {
+	cols := int(math.MaxInt32) + 10
+	m := &CSR{
+		Rows: 2, Cols: cols,
+		Ptr: []int{0, 2, 3},
+		Idx: []int{7, cols - 1, cols - 3},
+		Val: []float64{1, 2, 3},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CompactFits() {
+		t.Fatalf("matrix with %d cols should not fit int32", cols)
+	}
+	roundTrip(t, m)
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randCSR(t, rng, 20, 20, 80)
+	var buf bytes.Buffer
+	if err := m.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) / 2, binaryHeaderSize + 3, 10, 0} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("ReadBinary accepted a stream truncated to %d of %d bytes", cut, len(full))
+		}
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trunc.drtb")
+	if err := os.WriteFile(path, full[:len(full)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinaryFile(path); err == nil {
+		t.Fatal("ReadBinaryFile accepted a truncated file")
+	}
+	if _, err := OpenBinary(path); err == nil {
+		t.Fatal("OpenBinary accepted a truncated file")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a drtb file at all........................."))); err == nil {
+		t.Fatal("ReadBinary accepted garbage")
+	}
+}
+
+// TestTransposeIntoAllocFree pins the pooled-scratch promise: repeated
+// transposition into a reused destination performs no steady-state
+// allocations.
+func TestTransposeIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randCSR(t, rng, 300, 200, 4000)
+	dst := &CSR{}
+	m.TransposeInto(dst) // warm destination and pool
+	allocs := testing.AllocsPerRun(20, func() {
+		m.TransposeInto(dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("TransposeInto allocates %.1f objects/run in steady state, want 0", allocs)
+	}
+	if !m.Transpose().Equal(dst) {
+		t.Fatal("TransposeInto result differs from Transpose")
+	}
+}
+
+// TestCompactRoundTrip pins Compact/Widen as exact inverses and the
+// compact matrix as query-identical to the wide one.
+func TestCompactRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := randCSR(t, rng, 150, 90, 1200)
+	c := m.Compact()
+	if !c.Widen().Equal(m) {
+		t.Fatal("Compact→Widen is not the identity")
+	}
+	if got, want := c.Transpose().Widen(), m.Transpose(); !got.Equal(want) {
+		t.Fatal("compact Transpose differs")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for _, win := range [][2]int{{0, m.Cols}, {-5, 3}, {10, 10}, {40, 1 << 40}, {m.Cols, m.Cols + 7}} {
+			wl, wh := m.RowRange(i, win[0], win[1])
+			cl, ch := c.RowRange(i, win[0], win[1])
+			if wh-wl != ch-cl {
+				t.Fatalf("row %d window %v: wide span %d, compact span %d", i, win, wh-wl, ch-cl)
+			}
+		}
+	}
+}

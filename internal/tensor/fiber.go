@@ -1,15 +1,19 @@
 package tensor
 
-// Fiber is one coordinate-payload list of the fibertree representation
-// (Fig. 2c): a sorted list of coordinates with parallel payloads. For leaf
-// fibers the payloads are scalar values.
-type Fiber struct {
-	Coords []int
+// FiberOf is one coordinate-payload list of the fibertree representation
+// (Fig. 2c), generic over the index element type: a sorted list of
+// coordinates with parallel payloads. For leaf fibers the payloads are
+// scalar values.
+type FiberOf[T Ix] struct {
+	Coords []T
 	Vals   []float64
 }
 
+// Fiber is the wide (int-indexed) fiber.
+type Fiber = FiberOf[int]
+
 // Len returns the number of stored coordinates in the fiber.
-func (f Fiber) Len() int { return len(f.Coords) }
+func (f FiberOf[T]) Len() int { return len(f.Coords) }
 
 // IntersectStats records the work performed by a two-fiber coordinate
 // intersection; the intersection units in internal/sim convert these counts
@@ -23,7 +27,7 @@ type IntersectStats struct {
 // shared coordinate with the positions of the match in each list. It
 // returns the work statistics. This is the skip-based two-finger
 // intersection used by ExTensor's intersection unit.
-func Intersect(a, b Fiber, visit func(coord, pa, pb int)) IntersectStats {
+func Intersect[T Ix](a, b FiberOf[T], visit func(coord, pa, pb int)) IntersectStats {
 	var st IntersectStats
 	pa, pb := 0, 0
 	for pa < len(a.Coords) && pb < len(b.Coords) {
@@ -33,7 +37,7 @@ func Intersect(a, b Fiber, visit func(coord, pa, pb int)) IntersectStats {
 		case ca == cb:
 			st.Matches++
 			if visit != nil {
-				visit(ca, pa, pb)
+				visit(int(ca), pa, pb)
 			}
 			pa++
 			pb++
@@ -47,13 +51,13 @@ func Intersect(a, b Fiber, visit func(coord, pa, pb int)) IntersectStats {
 }
 
 // IntersectCount returns only the number of shared coordinates.
-func IntersectCount(a, b Fiber) int {
+func IntersectCount[T Ix](a, b FiberOf[T]) int {
 	return Intersect(a, b, nil).Matches
 }
 
 // UnionCount returns the number of distinct coordinates present in either
 // fiber; outer-product merge hardware performs this union.
-func UnionCount(a, b Fiber) int {
+func UnionCount[T Ix](a, b FiberOf[T]) int {
 	n, pa, pb := 0, 0, 0
 	for pa < len(a.Coords) && pb < len(b.Coords) {
 		n++
@@ -72,7 +76,7 @@ func UnionCount(a, b Fiber) int {
 
 // Dot returns the inner product of two fibers along with the intersection
 // statistics: sum over shared coordinates of the pairwise value products.
-func Dot(a, b Fiber) (float64, IntersectStats) {
+func Dot[T Ix](a, b FiberOf[T]) (float64, IntersectStats) {
 	var sum float64
 	st := Intersect(a, b, func(_, pa, pb int) {
 		sum += a.Vals[pa] * b.Vals[pb]

@@ -103,22 +103,35 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		}
 		read++
 	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tensor: reading MatrixMarket stream: %w", err)
+	}
 	if read < nnz {
-		return nil, fmt.Errorf("tensor: stream ended after %d of %d entries", read, nnz)
+		return nil, fmt.Errorf("tensor: truncated MatrixMarket stream: ended after %d of %d entries", read, nnz)
 	}
 	return FromCOO(m), nil
 }
 
 // WriteMatrixMarket emits the matrix in MatrixMarket coordinate general
-// format.
-func WriteMatrixMarket(w io.Writer, m *CSR) error {
-	bw := bufio.NewWriter(w)
+// format. Each entry line is assembled with strconv appends into one
+// reused buffer — a single buffered write per non-zero instead of a
+// format-string parse and several small writes.
+func WriteMatrixMarket[T Ix](w io.Writer, m *Mat[T]) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
 		return err
 	}
+	buf := make([]byte, 0, 64)
 	for i := 0; i < m.Rows; i++ {
 		for p := m.Ptr[i]; p < m.Ptr[i+1]; p++ {
-			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.Idx[p]+1, m.Val[p]); err != nil {
+			buf = buf[:0]
+			buf = strconv.AppendInt(buf, int64(i)+1, 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, int64(m.Idx[p])+1, 10)
+			buf = append(buf, ' ')
+			buf = strconv.AppendFloat(buf, m.Val[p], 'g', 17, 64)
+			buf = append(buf, '\n')
+			if _, err := bw.Write(buf); err != nil {
 				return err
 			}
 		}
@@ -167,6 +180,9 @@ func ReadFROSTT(r io.Reader) (*CSF3, error) {
 		if k > maxK {
 			maxK = k
 		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tensor: reading .tns stream: %w", err)
 	}
 	t := NewCOO3(maxI, maxJ, maxK)
 	for p := range is {

@@ -95,12 +95,12 @@ type Grid struct {
 
 // NewGrid tiles m into tileH×tileW T-UC micro tiles and builds the prefix
 // sums.
-func NewGrid(m *tensor.CSR, tileH, tileW int) *Grid {
+func NewGrid[T tensor.Ix](m *tensor.Mat[T], tileH, tileW int) *Grid {
 	return NewGridWithFormat(m, tileH, tileW, TUC)
 }
 
 // NewGridWithFormat is NewGrid with an explicit micro-tile representation.
-func NewGridWithFormat(m *tensor.CSR, tileH, tileW int, f Format) *Grid {
+func NewGridWithFormat[T tensor.Ix](m *tensor.Mat[T], tileH, tileW int, f Format) *Grid {
 	if tileH < 1 || tileW < 1 {
 		panic(fmt.Sprintf("tiling: invalid micro tile shape %dx%d", tileH, tileW))
 	}
@@ -130,14 +130,14 @@ func NewGridWithFormat(m *tensor.CSR, tileH, tileW int, f Format) *Grid {
 		if hi > m.Rows {
 			hi = m.Rows
 		}
-		lo, end := m.Ptr[gr*tileH], m.Ptr[hi]
+		lo, end := int(m.Ptr[gr*tileH]), int(m.Ptr[hi])
 		if shift >= 0 {
 			for _, c := range m.Idx[lo:end] {
-				row[c>>shift]++
+				row[int(c)>>shift]++
 			}
 		} else {
 			for _, c := range m.Idx[lo:end] {
-				row[c/tileW]++
+				row[int(c)/tileW]++
 			}
 		}
 		g.buildSumRow(gr, row)
@@ -282,7 +282,7 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // metadata on hyper-sparse data; large tiles pay segment-array overhead
 // and converge to S-U-C behavior. With no candidates, {8, 16, 32, 64} are
 // tried.
-func SuggestMicroTile(m *tensor.CSR, candidates ...int) int {
+func SuggestMicroTile[T tensor.Ix](m *tensor.Mat[T], candidates ...int) int {
 	if len(candidates) == 0 {
 		candidates = []int{8, 16, 32, 64}
 	}

@@ -17,6 +17,15 @@
 #                                       # guard also fails when ns/op grows
 #                                       # more than NS_TOL (fraction, default
 #                                       # 0.20 = +20%) over the baseline
+#   scripts/bench.sh scale1             # the full-scale flagship: tab3 at
+#                                       # -scale 1 through the operand cache,
+#                                       # sharded cold + merged + warm, with
+#                                       # the warm-cache speedup guard; writes
+#                                       # BENCH_scale1_<date>.json
+#   SCALE=4 MIN_SPEEDUP=1.5 scripts/bench.sh scale1
+#                                       # ci smoke variant: same pipeline at
+#                                       # a reduced scale and a looser warm
+#                                       # guard; writes no snapshot
 #
 # Guard tolerances (what ci runs, and why):
 #   allocs/op factor (arg 2, default 2.0) — allocs at -benchtime 1x are
@@ -49,7 +58,89 @@ mode=run
 case "${1:-}" in
   compare) mode=compare; shift ;;
   guard) mode=guard; shift ;;
+  scale1) mode=scale1; shift ;;
 esac
+
+if [ "$mode" = scale1 ]; then
+  # Full-scale flagship run: tab3 (the matrix inventory — generation and
+  # stats, the operand-cache hot path) at -scale 1, run cold as two shards,
+  # merged with drtmetrics -merge, then warm unsharded. Three checks:
+  #   1. merged shard dump == warm unsharded dump (tables byte-identical;
+  #      only per-run meta/timing fields may differ),
+  #   2. warm (cache-served) run is at least MIN_SPEEDUP x faster than the
+  #      cold (generating) run,
+  #   3. at scale 1 a BENCH_scale1_<date>.json snapshot is written — its
+  #      own drtmetrics series, never mixed with the scaled BENCH_* drift.
+  scale="${SCALE:-1}"
+  minspeed="${MIN_SPEEDUP:-10}"
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  export DRT_OPERAND_CACHE="${DRT_OPERAND_CACHE:-$work/cache}"
+
+  go build -o "$work/drtbench" ./cmd/drtbench
+  go build -o "$work/drtmetrics" ./cmd/drtmetrics
+
+  now_ns() { date +%s%N; }
+
+  echo "scale1: cold sharded run (scale $scale, cache $DRT_OPERAND_CACHE)"
+  t0=$(now_ns)
+  "$work/drtbench" -exp tab3 -scale "$scale" -shard 0/2 -metrics-out "$work/s0.json" > /dev/null
+  "$work/drtbench" -exp tab3 -scale "$scale" -shard 1/2 -metrics-out "$work/s1.json" > /dev/null
+  cold=$(( $(now_ns) - t0 ))
+
+  "$work/drtmetrics" -merge -o "$work/merged.json" "$work/s0.json" "$work/s1.json"
+
+  echo "scale1: warm unsharded run"
+  t0=$(now_ns)
+  "$work/drtbench" -exp tab3 -scale "$scale" -metrics-out "$work/warm.json" > /dev/null
+  warm=$(( $(now_ns) - t0 ))
+
+  # Strip the per-run fields (flat meta map, seconds) and require the
+  # remaining table content to match exactly.
+  norm() {
+    awk 'BEGIN{inmeta=0}
+         /"meta": \{/{inmeta=1; next}
+         inmeta && /^  \},?$/{inmeta=0; next}
+         inmeta{next}
+         /"seconds":/{next}
+         {print}' "$1"
+  }
+  if ! diff <(norm "$work/merged.json") <(norm "$work/warm.json") > /dev/null; then
+    echo "bench.sh: scale1: merged shard dump differs from unsharded run" >&2
+    diff <(norm "$work/merged.json") <(norm "$work/warm.json") | head -20 >&2
+    exit 1
+  fi
+  echo "scale1: shard merge == unsharded (ok)"
+
+  echo "scale1: cold $((cold / 1000000)) ms, warm $((warm / 1000000)) ms"
+  if ! awk -v c="$cold" -v w="$warm" -v m="$minspeed" 'BEGIN { exit !(c >= w * m) }'; then
+    echo "bench.sh: scale1: warm cache run only $(awk -v c="$cold" -v w="$warm" 'BEGIN{printf "%.1f", c/w}')x faster than cold (need ${minspeed}x)" >&2
+    exit 1
+  fi
+  echo "scale1: warm cache speedup $(awk -v c="$cold" -v w="$warm" 'BEGIN{printf "%.1f", c/w}')x (>= ${minspeed}x, ok)"
+
+  if [ "$scale" != 1 ]; then
+    echo "scale1: scale $scale smoke run — no snapshot written"
+    exit 0
+  fi
+  out="BENCH_scale1_$(date +%F).json"
+  n=2
+  while [ -e "$out" ]; do
+    out="BENCH_scale1_$(date +%F)_$((n)).json"
+    n=$((n + 1))
+  done
+  {
+    printf '{\n  "date": "%s",\n  "go": "%s",\n  "benchtime": "wall",\n' \
+      "$(date -u +%FT%TZ)" "$(go env GOVERSION)"
+    printf '  "goos": "%s",\n  "goarch": "%s",\n  "benchmarks": [\n' \
+      "$(go env GOOS)" "$(go env GOARCH)"
+    printf '    {"name":"Scale1Tab3ColdSharded","iterations":1,"ns_per_op":%d},\n' "$cold"
+    printf '    {"name":"Scale1Tab3Warm","iterations":1,"ns_per_op":%d}\n' "$warm"
+    printf '  ]\n}\n'
+  } > "$out"
+  echo "wrote $out"
+  exit 0
+fi
 pattern="${1:-.}"
 benchtime="${BENCHTIME:-1x}"
 threshold="${2:-2.0}"   # guard mode: allowed allocs/op growth factor
