@@ -22,7 +22,7 @@
 // end, per-experiment timing, slow cells, cache summaries) on stderr.
 //
 // Performance knobs (-parallel, -sched, -grid, -stream, -trace-cache,
-// -index, -operand-cache, -shard) change only how fast the evaluation
+// -trace-store, -index, -operand-cache, -shard) change only how fast the evaluation
 // runs, never what it prints — every table is byte-identical at any
 // setting (for -shard, after drtmetrics -merge). -parallel bounds the worker
 // goroutines used for independent (workload × configuration) cells inside
@@ -37,6 +37,11 @@
 // each reused (workload, tiling config) schedule on its second request
 // and retimes it for every later sweep point that only changes machine
 // speed or pricing knobs (see DESIGN.md "Trace record/replay");
+// -trace-store (auto by default: DRT_TRACE_CACHE or the user cache dir,
+// "off" disables) persists recorded schedules as content-addressed .drtt
+// files shared across processes, so warm re-runs and sharded sweeps
+// replay schedules an earlier process already recorded (see DESIGN.md
+// "Persistent trace store");
 // -index picks the tensor index width (auto narrows to int32 when the
 // operands are large enough and every dimension fits); -operand-cache
 // (on by default) reuses large generated operands from a mmap-backed
@@ -83,6 +88,7 @@ func main() {
 		stream     = flag.Bool("stream", false, "pipeline DRT task extraction alongside simulation, sharded across -parallel workers")
 		sched      = flag.String("sched", "lpt", "cell dispatch order: lpt (longest first, work stealing) | fifo (index order)")
 		traceCache = flag.Bool("trace-cache", true, "record each reused (workload, tiling config) schedule and retime it per sweep point (bit-identical tables)")
+		traceStore = flag.String("trace-store", "auto", "persistent trace store: auto (DRT_TRACE_CACHE or the user cache dir), off, or a directory; recorded schedules replay across processes (bit-identical tables)")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		metricsOut = flag.String("metrics-out", "", "write all tables and run metadata as JSON to this file")
@@ -94,7 +100,7 @@ func main() {
 	listen := cli.AddListenFlag()
 	logLevel := cli.AddLogFlag()
 	prof := cli.AddProfileFlags()
-	cli.GroupUsage("drtbench", "Performance knobs", "parallel", "sched", "grid", "stream", "trace-cache", "index", "operand-cache", "shard")
+	cli.GroupUsage("drtbench", "Performance knobs", "parallel", "sched", "grid", "stream", "trace-cache", "trace-store", "index", "operand-cache", "shard")
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtbench")
@@ -120,6 +126,7 @@ func main() {
 		rec.SetMeta("stream", fmt.Sprint(*stream))
 		rec.SetMeta("sched", *sched)
 		rec.SetMeta("trace-cache", fmt.Sprint(*traceCache))
+		rec.SetMeta("trace-store", exp.TraceStoreDir(*traceStore))
 		for k, v := range obs.BuildMeta() {
 			rec.SetMeta(k, v)
 		}
@@ -169,7 +176,7 @@ func main() {
 		defer stopLine()
 	}
 
-	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream, Sched: schedMode, NoTraceCache: !*traceCache, Progress: prog, Shard: shard, Index: index, NoOperandCache: !*opCache}
+	opts := exp.Options{Scale: *scale, MicroTile: *microTile, MaxWorkloads: *maxW, Parallel: *parallel, Grid: grid, Stream: *stream, Sched: schedMode, NoTraceCache: !*traceCache, TraceStore: exp.TraceStoreDir(*traceStore), Progress: prog, Shard: shard, Index: index, NoOperandCache: !*opCache}
 	if rec != nil {
 		opts.Rec = rec
 	}
@@ -229,6 +236,8 @@ func main() {
 			"trace_misses", rec.Counter("exp.tracecache.misses"),
 			"trace_direct", rec.Counter("exp.tracecache.direct"),
 			"trace_evictions", rec.Counter("exp.tracecache.evictions"),
+			"store_hits", rec.Counter("trace_store.hits"),
+			"store_misses", rec.Counter("trace_store.misses"),
 			"boxcache_hits", rec.Counter("extract.boxcache.hits"),
 			"boxcache_misses", rec.Counter("extract.boxcache.misses"))
 	}

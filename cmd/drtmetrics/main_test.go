@@ -36,6 +36,12 @@ func TestLoadSnapshotsCommitted(t *testing.T) {
 // re-recording on retile, shared square-operand grids, row-streamed
 // prefix-sum construction), so the latest committed snapshot must keep
 // them inside tolerance; this test fails again if either regresses.
+//
+// Fig08MSBFS, AblAutoMicroTile and GridConstruction joined the same
+// contract in 2026-08: all three spent time on the ci -warn
+// acknowledgment list, were re-measured at +0.0% vs their series best,
+// and came off it — so the committed history must keep them inside
+// tolerance too.
 func TestCheckFixedRegressionsStayFixed(t *testing.T) {
 	snaps, err := LoadSnapshots(repoRoot)
 	if err != nil {
@@ -45,9 +51,11 @@ func TestCheckFixedRegressionsStayFixed(t *testing.T) {
 	tol := Tolerance{NsGrowth: 0.25, AllocFactor: 2.0}
 	for _, tr := range trends {
 		switch tr.Name {
-		case "BenchmarkFig14Partition", "BenchmarkFig17MicroTile":
+		case "BenchmarkFig14Partition", "BenchmarkFig17MicroTile",
+			"BenchmarkFig08MSBFS", "BenchmarkAblAutoMicroTile",
+			"BenchmarkGridConstruction/dense", "BenchmarkGridConstruction/compressed":
 			if r := tr.Regressed(tol); r != "" {
-				t.Errorf("%s: flagged as regressed (%s); the Fig14/Fig17 fixes must hold", tr.Name, r)
+				t.Errorf("%s: flagged as regressed (%s); the fixes behind its removal from the -warn list must hold", tr.Name, r)
 			}
 		}
 	}

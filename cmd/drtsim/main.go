@@ -19,8 +19,9 @@
 // structured slog records. Exit codes: 2 for usage errors, 1 for runtime
 // errors.
 //
-// Performance knobs (-parallel, -sched, -grid, -stream, -trace-cache)
-// change only how fast the simulation runs, never its result: -parallel
+// Performance knobs (-parallel, -sched, -grid, -stream, -trace-cache,
+// -trace-store) change only how fast the simulation runs, never its
+// result: -parallel
 // bounds worker goroutines (static-shape sweep, reference kernel, sharded
 // extraction), -sched picks their dispatch order (lpt longest-first with
 // work stealing, or fifo index order — see DESIGN.md "Scheduling"), -grid
@@ -29,8 +30,11 @@
 // and -trace-cache routes the run through the record/replay split (record
 // the schedule, then retime it — the verification path for DESIGN.md
 // "Trace record/replay"; the S-U-C ExTensor variants sweep tile shapes
-// per machine and fall back to the direct run). The report is
-// byte-identical at any setting of all five.
+// per machine and fall back to the direct run), and -trace-store (off by
+// default; "auto" resolves DRT_TRACE_CACHE or the user cache dir) serves
+// the extensor-op-drt schedule from the persistent trace store when an
+// earlier run recorded it (see DESIGN.md "Persistent trace store"). The
+// report is byte-identical at any setting of all six.
 package main
 
 import (
@@ -82,6 +86,7 @@ func main() {
 		stream     = flag.Bool("stream", false, "pipeline DRT task extraction alongside simulation, sharded across -parallel workers")
 		schedFlag  = flag.String("sched", "lpt", "cell dispatch order: lpt (longest first, work stealing) | fifo (index order)")
 		traceCache = flag.Bool("trace-cache", false, "run via the record/replay split: record the tile schedule, then retime it (byte-identical report)")
+		traceStore = flag.String("trace-store", "off", "persistent trace store for extensor-op-drt: off, auto (DRT_TRACE_CACHE or the user cache dir), or a directory; replays schedules recorded by earlier runs (byte-identical report)")
 		trace      = flag.Bool("trace", false, "render the DRT task tiling of the K×J plane as ASCII")
 		jsonOut    = flag.Bool("json", false, "emit the report as JSON on stdout instead of text")
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the run's spans")
@@ -91,7 +96,7 @@ func main() {
 	listen := cli.AddListenFlag()
 	logLevel := cli.AddLogFlag()
 	prof := cli.AddProfileFlags()
-	cli.GroupUsage("drtsim", "Performance knobs", "parallel", "sched", "grid", "stream", "trace-cache")
+	cli.GroupUsage("drtsim", "Performance knobs", "parallel", "sched", "grid", "stream", "trace-cache", "trace-store")
 	flag.Parse()
 	defer cli.Cleanup()
 	stopProf := prof.Start("drtsim")
@@ -135,6 +140,7 @@ func main() {
 		rec.SetMeta("stream", fmt.Sprint(*stream))
 		rec.SetMeta("sched", *schedFlag)
 		rec.SetMeta("trace-cache", fmt.Sprint(*traceCache))
+		rec.SetMeta("trace-store", exp.TraceStoreDir(*traceStore))
 		rec.SetMeta("seed", fmt.Sprint(e.Seed))
 		if spec, err := json.Marshal(e.Spec(*scale)); err == nil {
 			rec.SetMeta("workload.spec", string(spec))
@@ -180,7 +186,7 @@ func main() {
 	if err != nil {
 		cli.Fatalf("drtsim: %v", err)
 	}
-	c := exp.NewContext(exp.Options{Scale: *scale, MicroTile: *microTile})
+	c := exp.NewContext(exp.Options{Scale: *scale, MicroTile: *microTile, TraceStore: exp.TraceStoreDir(*traceStore)})
 	m := c.Machine()
 	if rec != nil {
 		rec.SetMeta("machine.global_buffer_bytes", fmt.Sprint(m.GlobalBuffer))
@@ -190,7 +196,7 @@ func main() {
 	}
 
 	prog.SetPhase("simulate")
-	r, err := run(*accelName, w, m, *parallel, sched, *stream, *traceCache, rec)
+	r, err := run(c, e.Name, *accelName, w, m, *parallel, sched, *stream, *traceCache, rec)
 	if err != nil {
 		cli.Fatalf("drtsim: %v", err)
 	}
@@ -287,7 +293,7 @@ func printTrace(a *accel.Workload, microTile int) error {
 	return nil
 }
 
-func run(name string, w *accel.Workload, m sim.Machine, parallel int, sched par.Sched, stream bool, traceCache bool, rec *obs.Collector) (sim.Result, error) {
+func run(c *exp.Context, wkey, name string, w *accel.Workload, m sim.Machine, parallel int, sched par.Sched, stream bool, traceCache bool, rec *obs.Collector) (sim.Result, error) {
 	var r obs.Recorder
 	if rec != nil {
 		r = rec
@@ -352,7 +358,12 @@ func run(name string, w *accel.Workload, m sim.Machine, parallel int, sched par.
 			ro.Rec = nil
 			return extensor.Retime(extensor.OPDRT, tr, ro), nil
 		}
-		return extensor.Run(extensor.OPDRT, w, exOpt)
+		// The exp context routes the run through the two-tier trace cache
+		// when -trace-store attached one (a warm store replays the schedule
+		// instead of re-running the engine); without a store — or with a
+		// collector attached, which wants the full engine's histograms —
+		// this is exactly extensor.Run.
+		return c.RunExtensor(extensor.OPDRT, wkey, w, exOpt)
 	case "outerspace":
 		return runOS(outerspace.Untiled)
 	case "outerspace-suc":

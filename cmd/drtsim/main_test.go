@@ -61,13 +61,14 @@ func TestReportGolden(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m := exp.NewContext(exp.Options{Scale: scale, MicroTile: microTile}).Machine()
+		c := exp.NewContext(exp.Options{Scale: scale, MicroTile: microTile})
+		m := c.Machine()
 		// The golden file was produced by a sequential, non-streamed run;
 		// simulating with four workers — under both dispatch orders and, in
 		// several cases, the pipelined sharded extraction — and still
 		// matching it byte-for-byte pins the parallel paths' determinism
 		// guarantee.
-		r, err := run(accelName, w, m, 4, cfg.sched, cfg.stream, cfg.traceCache, nil)
+		r, err := run(c, e.Name, accelName, w, m, 4, cfg.sched, cfg.stream, cfg.traceCache, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,9 +107,10 @@ func TestJSONMatchesText(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := exp.NewContext(exp.Options{Scale: 64, MicroTile: 8}).Machine()
+	c := exp.NewContext(exp.Options{Scale: 64, MicroTile: 8})
+	m := c.Machine()
 	rec := obs.NewCollector()
-	r, err := run("extensor-op-drt", w, m, 1, par.FIFO, false, false, rec)
+	r, err := run(c, e.Name, "extensor-op-drt", w, m, 1, par.FIFO, false, false, rec)
 	if err != nil {
 		t.Fatal(err)
 	}

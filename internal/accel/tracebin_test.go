@@ -1,0 +1,355 @@
+package accel
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"drt/internal/core"
+	"drt/internal/extractor"
+	"drt/internal/gen"
+	"drt/internal/sim"
+)
+
+// traceRoundTrip writes tr as .drtt, reads the stream and the file form
+// back, and checks both for deep equality — the decoded trace must retime
+// identically because it is field-for-field the same value.
+func traceRoundTrip(t *testing.T, tr *Trace) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	if want := tr.TraceBinarySize(); int64(buf.Len()) != want {
+		t.Fatalf("stream is %d bytes, TraceBinarySize says %d", buf.Len(), want)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("stream round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+	path := filepath.Join(t.TempDir(), "trace.drtt")
+	if err := WriteTraceFile(path, tr); err != nil {
+		t.Fatalf("WriteTraceFile: %v", err)
+	}
+	fgot, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatalf("ReadTraceFile: %v", err)
+	}
+	if !reflect.DeepEqual(fgot, tr) {
+		t.Fatalf("file round trip mismatch:\n got %+v\nwant %+v", fgot, tr)
+	}
+}
+
+// recordedFixtures records real schedules on both engine levels, so the
+// round-trip tests cover exactly what RecordTasks produces.
+func recordedFixtures(t *testing.T) map[string]*Trace {
+	t.Helper()
+	a := gen.RMAT(128, 1500, 0.57, 0.19, 0.19, 3)
+	b := gen.RMAT(128, 1500, 0.45, 0.25, 0.20, 4)
+	w, err := NewWorkload("rmat128", a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := EngineOptions{
+		Machine: sim.DefaultMachine(),
+		CapA:    4 << 10, CapB: 4 << 10, CapO: 4 << 10,
+		LoopOrder: []int{DimJ, DimK, DimI},
+		Strategy:  core.GreedyContractedFirst,
+		Intersect: sim.SkipBased,
+		Extractor: extractor.ParallelExtractor,
+	}
+	hier := flat
+	hier.PELevel = &PELevelOptions{
+		CapA: 1 << 10, CapB: 1 << 10, CapO: 1 << 10,
+		LoopOrder: []int{DimK, DimI, DimJ},
+		Strategy:  core.GreedyContractedFirst,
+	}
+	out := map[string]*Trace{}
+	for name, opt := range map[string]EngineOptions{"flat": flat, "hierarchical": hier} {
+		tr, err := RecordTasks(w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumTasks() < 2 {
+			t.Fatalf("%s fixture too small: %d tasks", name, tr.NumTasks())
+		}
+		out[name] = tr
+	}
+	return out
+}
+
+func TestTraceBinaryRoundTripRecorded(t *testing.T) {
+	for name, tr := range recordedFixtures(t) {
+		t.Run(name, func(t *testing.T) { traceRoundTrip(t, tr) })
+	}
+}
+
+// TestTraceBinaryRetimeEquality pins the property the trace store relies
+// on: a decoded trace retimes bit-for-bit like the one that was written.
+func TestTraceBinaryRetimeEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for name, tr := range recordedFixtures(t) {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tr.WriteBinary(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadTrace(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				ro := RetimeOptions{Machine: scaleMachine(rng), Intersect: sim.Parallel, Extractor: extractor.IdealExtractor}
+				if a, b := Retime(tr, ro), Retime(got, ro); a != b {
+					t.Fatalf("retime diverges after round trip:\n %+v\n %+v", a, b)
+				}
+			}
+		})
+	}
+}
+
+// fuzzTrace builds a structurally valid trace directly: random ledgers,
+// random per-task scalars, and contiguous ascending item windows — the
+// invariant RecordTasks guarantees and validateWindows re-checks.
+func fuzzTrace(rng *rand.Rand) *Trace {
+	tr := &Trace{
+		Name:         "fuzz",
+		hierarchical: rng.Intn(2) == 1,
+		maccs:        rng.Int63(),
+		intersectOps: rng.Int63(),
+		tasks:        rng.Intn(1000),
+		emptyTasks:   rng.Intn(1000),
+		overflows:    rng.Intn(10),
+		inputTraffic: rng.Int63(),
+	}
+	tr.traffic.A, tr.traffic.B, tr.traffic.Z = rng.Int63(), rng.Int63(), rng.Int63()
+	nTasks := rng.Intn(20)
+	for i := 0; i < nTasks; i++ {
+		tt := traceTask{
+			bytes:        rng.Int63n(1 << 40),
+			scanTiles:    rng.Int63n(1 << 30),
+			probes:       rng.Intn(1 << 20),
+			rebuiltTiles: rng.Int63n(1 << 30),
+			rowsLo:       len(tr.rows), rowsHi: len(tr.rows),
+			subsLo: len(tr.subs), subsHi: len(tr.subs),
+			extsLo: len(tr.exts), extsHi: len(tr.exts),
+			distsLo: len(tr.dists), distsHi: len(tr.dists),
+		}
+		if tr.hierarchical {
+			for n := rng.Intn(5); n > 0; n-- {
+				tr.subs = append(tr.subs, rowCost{scanned: rng.Int63(), maccs: rng.Int63()})
+			}
+			for n := rng.Intn(4); n > 0; n-- {
+				tr.exts = append(tr.exts, rng.Int63())
+			}
+			for n := rng.Intn(4); n > 0; n-- {
+				tr.dists = append(tr.dists, distEvent{footprint: rng.Int63(), multicast: rng.Intn(2) == 1})
+			}
+			tt.subsHi, tt.extsHi, tt.distsHi = len(tr.subs), len(tr.exts), len(tr.dists)
+		} else {
+			for n := rng.Intn(6); n > 0; n-- {
+				tr.rows = append(tr.rows, rowCost{scanned: rng.Int63(), maccs: rng.Int63()})
+			}
+			tt.rowsHi = len(tr.rows)
+		}
+		tr.taskRecs = append(tr.taskRecs, tt)
+	}
+	return tr
+}
+
+func TestTraceBinaryFuzzedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for it := 0; it < 40; it++ {
+		traceRoundTrip(t, fuzzTrace(rng))
+	}
+}
+
+// TestTraceBinaryWideBoundary pins extreme field values: int64 extrema in
+// every ledger and per-item slot survive the round trip exactly.
+func TestTraceBinaryWideBoundary(t *testing.T) {
+	tr := &Trace{
+		Name:         "boundary",
+		maccs:        math.MaxInt64,
+		intersectOps: math.MinInt64,
+		tasks:        math.MaxInt32,
+		emptyTasks:   0,
+		overflows:    1,
+		inputTraffic: math.MaxInt64,
+	}
+	tr.traffic.A, tr.traffic.B, tr.traffic.Z = math.MaxInt64, -1, math.MinInt64
+	tr.taskRecs = []traceTask{{
+		bytes: math.MaxInt64, scanTiles: math.MaxInt64, probes: math.MaxInt32, rebuiltTiles: math.MaxInt64,
+		rowsLo: 0, rowsHi: 1,
+	}}
+	tr.rows = []rowCost{{scanned: math.MaxInt64, maccs: math.MinInt64}}
+	traceRoundTrip(t, tr)
+
+	empty := &Trace{Name: ""}
+	traceRoundTrip(t, empty)
+}
+
+func TestTraceBinaryTruncated(t *testing.T) {
+	tr := recordedFixtures(t)["hierarchical"]
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) / 2, traceHeaderSize + traceTableSize + 3, traceHeaderSize + 3, 10, 0} {
+		if _, err := ReadTrace(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("ReadTrace accepted a stream truncated to %d of %d bytes", cut, len(full))
+		}
+	}
+	dir := t.TempDir()
+	for name, data := range map[string][]byte{
+		"trunc.drtt":  full[:len(full)-8],
+		"padded.drtt": append(append([]byte{}, full...), 0, 0, 0, 0, 0, 0, 0, 0),
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadTraceFile(path); err == nil {
+			t.Fatalf("ReadTraceFile accepted %s (%d bytes, want %d)", name, len(data), len(full))
+		}
+	}
+}
+
+func TestTraceBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a drtt trace at all, just some prose that is long enough to cover the header and table sections of the format, which together span 176 bytes of the stream......."))); err == nil {
+		t.Fatal("ReadTrace accepted garbage")
+	}
+	// Wrong version.
+	tr := &Trace{Name: "v"}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := buf.Bytes()
+	bad[4] = 99
+	if _, err := ReadTrace(bytes.NewReader(bad)); err == nil {
+		t.Fatal("ReadTrace accepted a future format version")
+	}
+}
+
+// TestTraceBinaryRejectsScrambledWindows pins the structural validation: a
+// stream whose sizes all agree but whose task windows break the capture
+// invariant is rejected, not retimed into garbage.
+func TestTraceBinaryRejectsScrambledWindows(t *testing.T) {
+	tr := &Trace{Name: "scrambled"}
+	tr.taskRecs = []traceTask{
+		{rowsLo: 0, rowsHi: 2},
+		{rowsLo: 1, rowsHi: 3}, // overlaps the first task's window
+	}
+	tr.rows = []rowCost{{1, 1}, {2, 2}, {3, 3}}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadTrace accepted overlapping task windows")
+	}
+	// Windows that undercover the stored items are equally invalid.
+	tr2 := &Trace{Name: "short"}
+	tr2.taskRecs = []traceTask{{rowsLo: 0, rowsHi: 1}}
+	tr2.rows = []rowCost{{1, 1}, {2, 2}}
+	buf.Reset()
+	if err := tr2.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadTrace accepted windows that undercover the item array")
+	}
+	// A hierarchical flag with flat row items is inconsistent.
+	tr3 := &Trace{Name: "mixed", hierarchical: true}
+	tr3.taskRecs = []traceTask{{rowsLo: 0, rowsHi: 1}}
+	tr3.rows = []rowCost{{1, 1}}
+	buf.Reset()
+	if err := tr3.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("ReadTrace accepted a hierarchical trace carrying flat rows")
+	}
+}
+
+// TestTraceBinaryGoldenHeader pins the first header+table bytes of a fixed
+// tiny trace, so any format drift (field order, widths, alignment) fails
+// loudly here and demands a TraceFormatVersion bump.
+func TestTraceBinaryGoldenHeader(t *testing.T) {
+	tr := &Trace{Name: "golden"}
+	tr.traffic.A, tr.traffic.B, tr.traffic.Z = 1, 2, 3
+	tr.maccs, tr.intersectOps = 4, 5
+	tr.tasks, tr.emptyTasks, tr.overflows = 1, 0, 0
+	tr.inputTraffic = 6
+	tr.taskRecs = []traceTask{{bytes: 7, scanTiles: 8, probes: 9, rebuiltTiles: 10, rowsLo: 0, rowsHi: 2}}
+	tr.rows = []rowCost{{11, 12}, {13, 14}}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const goldenPrefix = "" +
+		// magic "DRTT", version 1, flags 0, nameLen 6
+		"4452545401000000" + "0000000006000000" +
+		// counts: 1 task, 2 rows, 0 subs, 0 exts, 0 dists; reserved
+		"0100000000000000" + "0200000000000000" +
+		"0000000000000000" + "0000000000000000" +
+		"0000000000000000" + "0000000000000000" +
+		// section table: name(176,8) ledger(184,72) tasks(256,96)
+		// rows(352,32) subs(384,0) exts(384,0) dists(384,0)
+		"b000000000000000" + "0800000000000000" +
+		"b800000000000000" + "4800000000000000" +
+		"0001000000000000" + "6000000000000000" +
+		"6001000000000000" + "2000000000000000" +
+		"8001000000000000" + "0000000000000000" +
+		"8001000000000000" + "0000000000000000" +
+		"8001000000000000" + "0000000000000000" +
+		// name "golden" + 2 pad bytes
+		"676f6c64656e0000"
+	want, err := hex.DecodeString(goldenPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()[:len(want)]
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden header drifted:\n got %s\nwant %s\nbump TraceFormatVersion for any intentional layout change",
+			hex.EncodeToString(got), goldenPrefix)
+	}
+	if int64(buf.Len()) != tr.TraceBinarySize() {
+		t.Fatalf("golden stream is %d bytes, want %d", buf.Len(), tr.TraceBinarySize())
+	}
+}
+
+// TestTraceBinaryDecodeAllocs pins the pooled-scratch promise: decoding in
+// steady state allocates only the trace's own arrays, not per-chunk or
+// per-field temporaries.
+func TestTraceBinaryDecodeAllocs(t *testing.T) {
+	tr := recordedFixtures(t)["flat"]
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ReadTrace(bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Trace struct, 2 non-nil slices, name string, reader wrapper, decoder,
+	// plus interface boxing — a dozen covers it with slack; the point is
+	// that it does not scale with the item count (thousands here).
+	if allocs > 16 {
+		t.Fatalf("ReadTrace allocates %.0f objects/run, want ≤ 16 (pooled scratch regressed)", allocs)
+	}
+}

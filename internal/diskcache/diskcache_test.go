@@ -1,0 +1,194 @@
+package diskcache
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDirEnvResolution(t *testing.T) {
+	const env = "DRT_TEST_CACHE_DIR"
+	t.Setenv(env, "/explicit/path")
+	if got := Dir(env, "drt-test"); got != "/explicit/path" {
+		t.Errorf("explicit env: got %q", got)
+	}
+	for _, off := range []string{"off", "none", "0"} {
+		t.Setenv(env, off)
+		if got := Dir(env, "drt-test"); got != "" {
+			t.Errorf("env %q: got %q, want disabled", off, got)
+		}
+	}
+	t.Setenv(env, "")
+	base, err := os.UserCacheDir()
+	if err == nil {
+		if got, want := Dir(env, "drt-test"), filepath.Join(base, "drt-test"); got != want {
+			t.Errorf("default subdir: got %q, want %q", got, want)
+		}
+	}
+	if got := Dir(env, ""); got != "" {
+		t.Errorf("no default subdir: got %q, want disabled", got)
+	}
+}
+
+func TestDisabledCacheIsNoOp(t *testing.T) {
+	for name, c := range map[string]*Cache{"nil": nil, "empty-root": New("", ".x", 0)} {
+		if c.Enabled() {
+			t.Errorf("%s: Enabled() = true", name)
+		}
+		if c.Has("k") || c.Size("k") != 0 {
+			t.Errorf("%s: phantom entry", name)
+		}
+		c.Touch("k")
+		c.Remove("k")
+		unlock := c.Lock("k")
+		unlock()
+		if n, err := c.Put("k", func(*os.File) error { t.Fatal("write called on disabled cache"); return nil }); n != 0 || err != nil {
+			t.Errorf("%s: Put = (%d, %v)", name, n, err)
+		}
+	}
+}
+
+func TestPutAtomicAndHas(t *testing.T) {
+	c := New(t.TempDir(), ".drtt", 0)
+	key := Key([]byte("hello"))
+	if c.Has(key) {
+		t.Fatal("Has before Put")
+	}
+	if _, err := c.Put(key, func(f *os.File) error {
+		_, err := f.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has(key) || c.Size(key) != int64(len("payload")) {
+		t.Fatalf("entry missing or wrong size %d", c.Size(key))
+	}
+	data, err := os.ReadFile(c.Path(key))
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("stored %q, %v", data, err)
+	}
+	// A failed write leaves no entry and no temp litter.
+	badKey := Key([]byte("bad"))
+	if _, err := c.Put(badKey, func(f *os.File) error { return os.ErrInvalid }); err == nil {
+		t.Fatal("Put swallowed the write error")
+	}
+	if c.Has(badKey) {
+		t.Fatal("failed Put left an entry")
+	}
+	ents, _ := os.ReadDir(c.Root())
+	for _, de := range ents {
+		if de.Name()[0] == '.' {
+			t.Errorf("temp file %s left behind", de.Name())
+		}
+	}
+	c.Remove(key)
+	if c.Has(key) {
+		t.Fatal("Remove left the entry")
+	}
+}
+
+// TestEvictionLRU pins the byte-budget sweep: with a budget of two
+// 8-byte entries, storing a third evicts the least-recently-used one —
+// and a Touch refreshes recency, steering the eviction elsewhere.
+func TestEvictionLRU(t *testing.T) {
+	c := New(t.TempDir(), ".drtt", 16)
+	put := func(name string) string {
+		key := Key([]byte(name))
+		if _, err := c.Put(key, func(f *os.File) error {
+			_, err := f.Write([]byte("12345678"))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return key
+	}
+	a := put("a")
+	b := put("b")
+	// Make mtime order unambiguous on coarse-resolution filesystems.
+	old := time.Now().Add(-time.Hour)
+	os.Chtimes(c.Path(a), old, old)
+	os.Chtimes(c.Path(b), old.Add(time.Minute), old.Add(time.Minute))
+
+	c.Touch(a) // a is now the most recently used of the two
+	cpath := put("c")
+	_ = cpath
+	if c.Has(b) {
+		t.Error("LRU entry b survived eviction")
+	}
+	if !c.Has(a) {
+		t.Error("touched entry a was evicted")
+	}
+	if !c.Has(Key([]byte("c"))) {
+		t.Error("fresh entry c was evicted by its own Put")
+	}
+}
+
+// TestEvictionIgnoresForeignFiles pins that a shared directory's other
+// files (different extension, dotfiles) are neither counted nor removed.
+func TestEvictionIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "operand.drtb")
+	if err := os.WriteFile(foreign, make([]byte, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(dir, ".drtt", 16)
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := c.Put(Key([]byte(name)), func(f *os.File) error {
+			_, err := f.Write([]byte("12345678"))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Error("eviction removed a foreign .drtb file")
+	}
+}
+
+// TestLockSingleflight pins the per-key serialization: concurrent holders
+// of one key never overlap, while distinct keys proceed independently.
+func TestLockSingleflight(t *testing.T) {
+	c := New(t.TempDir(), ".drtt", 0)
+	var inside int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			unlock := c.Lock("shared")
+			defer unlock()
+			if n := atomic.AddInt32(&inside, 1); n != 1 {
+				t.Errorf("%d holders inside the same key's lock", n)
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt32(&inside, -1)
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		unlock := c.Lock("other")
+		unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("distinct key blocked behind the shared key's lock")
+	}
+	wg.Wait()
+}
+
+func TestKeyStability(t *testing.T) {
+	if Key([]byte("x")) != Key([]byte("x")) {
+		t.Fatal("Key is not deterministic")
+	}
+	if Key([]byte("x")) == Key([]byte("y")) {
+		t.Fatal("distinct blobs collided")
+	}
+	if len(Key(nil)) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(Key(nil)))
+	}
+}

@@ -99,25 +99,42 @@ func (c *Context) traceEligible(v extensor.Variant, opt extensor.Options) bool {
 // direct run either way, so tables do not depend on the cache — while
 // ineligible cells fall through to extensor.Run unchanged. wkey names the
 // prepared workload (w's identity within this Context).
+//
+// With a persistent trace store attached the first-use-direct policy is
+// retired: persistence is itself the proof of reuse (the next process —
+// or the next shard — replays what this one records), so every eligible
+// cell goes straight to the cached trace, loaded from disk when an
+// earlier process recorded it (see store.go).
 func (c *Context) runExtensor(v extensor.Variant, wkey string, w *accel.Workload, opt extensor.Options) (sim.Result, error) {
 	if !c.traceEligible(v, opt) {
 		return extensor.Run(v, w, opt)
 	}
-	key := c.traceKeyFor(v, wkey, opt)
-	c.mu.Lock()
-	if cell := c.traces[key]; cell == nil && !c.traceSeen[key] {
-		// First use: prove reuse before paying the capture pass.
-		c.traceSeen[key] = true
+	if !c.store.Enabled() {
+		key := c.traceKeyFor(v, wkey, opt)
+		c.mu.Lock()
+		if cell := c.traces[key]; cell == nil && !c.traceSeen[key] {
+			// First use: prove reuse before paying the capture pass.
+			c.traceSeen[key] = true
+			c.mu.Unlock()
+			obs.OrNop(c.Opt.Rec).Count("exp.tracecache.direct", 1)
+			return extensor.Run(v, w, opt)
+		}
 		c.mu.Unlock()
-		obs.OrNop(c.Opt.Rec).Count("exp.tracecache.direct", 1)
-		return extensor.Run(v, w, opt)
 	}
-	c.mu.Unlock()
 	tr, err := c.extensorTrace(v, wkey, w, opt)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	return extensor.Retime(v, tr, opt), nil
+}
+
+// RunExtensor is the exported runExtensor for CLI callers (drtsim routes
+// its extensor variants through it so -trace-store serves them too): run
+// variant v of the prepared workload under opt, through the two-tier
+// trace cache when the cell is eligible. wkey must name the workload
+// uniquely within this Context.
+func (c *Context) RunExtensor(v extensor.Variant, wkey string, w *accel.Workload, opt extensor.Options) (sim.Result, error) {
+	return c.runExtensor(v, wkey, w, opt)
 }
 
 // traceKeyFor builds the cache key for (variant, workload, tiling config).
@@ -155,9 +172,18 @@ func (c *Context) extensorTrace(v extensor.Variant, wkey string, w *accel.Worklo
 	recorded := false
 	cell.once.Do(func() {
 		recorded = true
+		// Disk tier first: a schedule some earlier process recorded loads
+		// in milliseconds; only a store miss pays the capture pass.
+		if tr, ok := c.loadStored(key); ok {
+			cell.tr = tr
+			return
+		}
 		ro := opt
 		ro.Rec = nil // the recording pass is shared; per-run recorders are ineligible
 		cell.tr, cell.err = extensor.Record(v, w, ro)
+		if cell.err == nil {
+			c.storeTrace(key, cell.tr)
+		}
 	})
 	rec := obs.OrNop(c.Opt.Rec)
 	if recorded {

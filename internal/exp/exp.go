@@ -20,6 +20,7 @@ import (
 
 	"drt/internal/accel"
 	"drt/internal/cpuref"
+	"drt/internal/diskcache"
 	"drt/internal/gen"
 	"drt/internal/obs"
 	"drt/internal/par"
@@ -68,6 +69,17 @@ type Options struct {
 	// the 256 MiB default; negative disables eviction. Eviction only costs
 	// a re-recording on a later request, never changes a table.
 	TraceBudget int64
+	// TraceStore, when non-empty, is the directory of the persistent trace
+	// store: recorded schedules are written as content-addressed .drtt
+	// files and loaded back by any later process (see store.go). Replayed
+	// traces retime bit-for-bit identical to direct runs, so tables never
+	// depend on the store's state. The zero value keeps the store off —
+	// CLIs opt in via -trace-store / DRT_TRACE_CACHE (TraceStoreDir).
+	TraceStore string
+	// TraceStoreBudget bounds the store directory's bytes (older entries
+	// are LRU-evicted on store). 0 selects the 4 GiB default; negative
+	// disables eviction.
+	TraceStoreBudget int64
 	// Shard restricts the shardable experiments (fig6, fig7, tab3 — the
 	// full-scale sweeps) to one contiguous block of their per-matrix cells.
 	// Shard k of n runs rows [k·m/n, (k+1)·m/n) of the deterministic entry
@@ -122,6 +134,10 @@ func DefaultOptions() Options {
 type Context struct {
 	Opt Options
 
+	// store is the disk tier behind the trace cache (nil-safe; disabled
+	// when Opt.TraceStore is empty). See store.go.
+	store *diskcache.Cache
+
 	mu     sync.Mutex
 	spmspm map[string]*workloadCell
 	grams  map[string]*gramCell
@@ -156,13 +172,21 @@ func NewContext(opt Options) *Context {
 	if opt.MicroTile < 1 {
 		opt.MicroTile = 16
 	}
-	return &Context{
+	c := &Context{
 		Opt:       opt,
 		spmspm:    map[string]*workloadCell{},
 		grams:     map[string]*gramCell{},
 		traces:    map[traceKey]*traceCell{},
 		traceSeen: map[traceKey]bool{},
 	}
+	if opt.TraceStore != "" {
+		budget := opt.TraceStoreBudget
+		if budget == 0 {
+			budget = defaultTraceStoreBudget
+		}
+		c.store = diskcache.New(opt.TraceStore, ".drtt", budget)
+	}
+	return c
 }
 
 // forEntries fans f over the entries on the context's worker pool and

@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+
+	"drt/internal/accel"
+	"drt/internal/diskcache"
+	"drt/internal/obs"
+	"drt/internal/sim"
+)
+
+// The persistent trace store is the disk tier behind the in-memory trace
+// cache: recorded schedules are serialized as content-addressed .drtt
+// files (accel's binary trace codec) in a directory shared across
+// processes, so a warm restart — or a sibling shard of the same sweep —
+// replays every schedule some earlier process already recorded instead of
+// re-running the engine. The in-memory tier stays in front: a process
+// touches the disk at most once per (workload, tiling config), when the
+// cell's Once materializes it.
+//
+// The store also changes the recording policy. Without it the cache only
+// records on a configuration's second request, because capture costs more
+// than a direct run and a one-shot sweep cell would pay it for nothing
+// (see cache.go). With a store attached, persistence itself is the proof
+// of reuse — the next process replays what this one records — so every
+// eligible cell records on first use and one-shot grids (Fig. 14's
+// partition sweep, Fig. 17's micro-tile ablation) become replay-bound on
+// warm restarts too.
+
+// defaultTraceStoreBudget bounds the store directory when the caller does
+// not: 4 GiB holds tens of thousands of bench-scale schedules and a few
+// hundred full-scale ones before LRU eviction starts.
+const defaultTraceStoreBudget = 4 << 30
+
+// storeKeyVersion is the trace-store keying generation, folded into every
+// disk key next to accel.TraceFormatVersion. Bump it when storeKey gains
+// or reinterprets a field, so older entries are never looked up again.
+const storeKeyVersion = 1
+
+// TraceStoreDir resolves a -trace-store flag value to a store root:
+// "off" (also "none", "0", "") disables the store, "auto" defers to the
+// DRT_TRACE_CACHE environment variable and falls back to the user cache
+// directory's drt-traces subdir, and anything else is the directory
+// itself.
+func TraceStoreDir(flagValue string) string {
+	switch flagValue {
+	case "", "off", "none", "0":
+		return ""
+	case "auto":
+		return diskcache.Dir("DRT_TRACE_CACHE", "drt-traces")
+	default:
+		return flagValue
+	}
+}
+
+// storeKey is the canonical JSON form a disk key hashes: the trace-format
+// and keying version salts, the Context-wide workload shaping knobs
+// (Scale, MicroTile — wkey names a workload only within one Context), and
+// every schedule-shaping field of the in-memory traceKey. Machine speed
+// and pricing knobs are deliberately absent, exactly as they are absent
+// from traceKey: one stored schedule serves every retime point.
+type storeKey struct {
+	Format    int // accel.TraceFormatVersion
+	KeyVer    int // storeKeyVersion
+	Scale     int
+	MicroTile int
+	Workload  string
+	Variant   int
+	Part      sim.Partition
+	Strategy  int
+	Init      [3]int
+	Single    bool
+	HasShape  bool
+	Shape     [3]int
+	GB, PB    int64
+}
+
+// diskKey content-addresses one recorded schedule for the store:
+// the sha256 of the canonical storeKey JSON. Returns "" (never stored,
+// never looked up) if marshaling fails, which it cannot for these field
+// types.
+func (c *Context) diskKey(k traceKey) string {
+	blob, err := json.Marshal(storeKey{
+		Format:    accel.TraceFormatVersion,
+		KeyVer:    storeKeyVersion,
+		Scale:     c.Opt.Scale,
+		MicroTile: c.Opt.MicroTile,
+		Workload:  k.workload,
+		Variant:   int(k.variant),
+		Part:      k.part,
+		Strategy:  int(k.strategy),
+		Init:      k.init,
+		Single:    k.single,
+		HasShape:  k.hasShape,
+		Shape:     k.shape,
+		GB:        k.gb,
+		PB:        k.pb,
+	})
+	if err != nil {
+		return ""
+	}
+	return diskcache.Key(blob)
+}
+
+// loadStored tries the disk tier for one schedule. A decodable entry is a
+// hit (counted, mtime-touched for the store's LRU); a missing, truncated
+// or corrupt .drtt file is a miss — corrupt entries are additionally
+// removed so the re-recorded replacement gets a clean slot.
+//
+// Counters (flattened to drt_trace_store_* in the Prometheus export):
+// trace_store.hits, trace_store.misses, trace_store.bytes (bytes served
+// from disk by hits), trace_store.evictions (entries LRU-evicted by this
+// process's stores).
+func (c *Context) loadStored(key traceKey) (*accel.Trace, bool) {
+	if !c.store.Enabled() {
+		return nil, false
+	}
+	dk := c.diskKey(key)
+	if dk == "" {
+		return nil, false
+	}
+	rec := obs.OrNop(c.Opt.Rec)
+	path := c.store.Path(dk)
+	tr, err := accel.ReadTraceFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			// The entry exists but does not decode: purge it so the
+			// re-record below refills the slot cleanly.
+			c.store.Remove(dk)
+		}
+		rec.Count("trace_store.misses", 1)
+		return nil, false
+	}
+	rec.Count("trace_store.hits", 1)
+	if n := c.store.Size(dk); n > 0 {
+		rec.Count("trace_store.bytes", n)
+	}
+	c.store.Touch(dk)
+	return tr, true
+}
+
+// storeTrace writes one freshly recorded schedule to the disk tier,
+// best-effort: a failed store is just a future miss, never a failed run.
+func (c *Context) storeTrace(key traceKey, tr *accel.Trace) {
+	if !c.store.Enabled() {
+		return
+	}
+	dk := c.diskKey(key)
+	if dk == "" {
+		return
+	}
+	evicted, err := c.store.Put(dk, func(f *os.File) error { return tr.WriteBinary(f) })
+	if err != nil {
+		return
+	}
+	if evicted > 0 {
+		obs.OrNop(c.Opt.Rec).Count("trace_store.evictions", int64(evicted))
+	}
+}

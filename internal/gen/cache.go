@@ -1,14 +1,12 @@
 package gen
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
 
+	"drt/internal/diskcache"
 	"drt/internal/obs"
 	"drt/internal/tensor"
 )
@@ -27,18 +25,7 @@ const CacheMinNNZ = 1 << 18
 // overrides it; the values "off", "none" and "0" (or an unresolvable user
 // cache dir) disable caching, reported as the empty string.
 func CacheDir() string {
-	switch v := os.Getenv("DRT_OPERAND_CACHE"); v {
-	case "":
-		base, err := os.UserCacheDir()
-		if err != nil {
-			return ""
-		}
-		return filepath.Join(base, "drt-operands")
-	case "off", "none", "0":
-		return ""
-	default:
-		return v
-	}
+	return diskcache.Dir("DRT_OPERAND_CACHE", "drt-operands")
 }
 
 // cacheKey content-addresses a spec: the sha256 of its canonical JSON form
@@ -49,13 +36,25 @@ func cacheKey(spec Spec) string {
 	if err != nil {
 		return "" // cannot happen for Spec; treated as uncacheable
 	}
-	h := sha256.Sum256(append(blob, []byte(fmt.Sprintf("|v%d", cacheFormatVersion))...))
-	return hex.EncodeToString(h[:])
+	return diskcache.Key(append(blob, []byte(fmt.Sprintf("|v%d", cacheFormatVersion))...))
 }
 
-// cacheFlight serializes concurrent misses of the same key within this
-// process, so parallel workloads sharing an operand generate it once.
-var cacheFlight sync.Map // key string → *sync.Mutex
+// opCaches memoizes one Cache handle per root so the per-key singleflight
+// state is process-wide: concurrent workloads sharing an operand generate
+// it once, however many CachedBuild calls race.
+var opCaches sync.Map // root string → *diskcache.Cache
+
+// operandCache is the process-wide handle for the current cache dir: the
+// operand cache has no byte budget (full-scale operands are the point of
+// it), so entries persist until the user clears the directory.
+func operandCache() *diskcache.Cache {
+	root := CacheDir()
+	if root == "" {
+		return nil // nil *Cache is a valid, disabled cache
+	}
+	c, _ := opCaches.LoadOrStore(root, diskcache.New(root, ".drtb", 0))
+	return c.(*diskcache.Cache)
+}
 
 // CachedBuild materializes the spec through the operand cache: a hit
 // memory-maps (or, failing that, reads) the stored .drtb file; a miss
@@ -76,21 +75,18 @@ func CachedBuild(spec Spec, rec obs.Recorder) (*tensor.Operand, error) {
 	if rec == nil {
 		rec = obs.Nop{}
 	}
-	dir := CacheDir()
+	cache := operandCache()
 	key := cacheKey(spec)
-	if dir == "" || key == "" || spec.NNZ < CacheMinNNZ {
+	if !cache.Enabled() || key == "" || spec.NNZ < CacheMinNNZ {
 		return buildOperand(spec)
 	}
 
-	mu, _ := cacheFlight.LoadOrStore(key, &sync.Mutex{})
-	mu.(*sync.Mutex).Lock()
-	defer mu.(*sync.Mutex).Unlock()
+	defer cache.Lock(key)()
 
-	path := filepath.Join(dir, key+".drtb")
-	if op, err := tensor.OpenBinary(path); err == nil {
+	if op, err := tensor.OpenBinary(cache.Path(key)); err == nil {
 		rec.Count("operand_cache.hits", 1)
-		if st, serr := os.Stat(path); serr == nil {
-			rec.Count("operand_cache.bytes", st.Size())
+		if n := cache.Size(key); n > 0 {
+			rec.Count("operand_cache.bytes", n)
 		}
 		return op, nil
 	}
@@ -100,7 +96,13 @@ func CachedBuild(spec Spec, rec obs.Recorder) (*tensor.Operand, error) {
 	if err != nil {
 		return nil, err
 	}
-	storeOperand(path, op) // best-effort; a failed store is just a future miss
+	// Best-effort store; a failed store is just a future miss.
+	cache.Put(key, func(f *os.File) error {
+		if op.Compact != nil {
+			return op.Compact.WriteBinary(f)
+		}
+		return op.Wide.WriteBinary(f)
+	})
 	return op, nil
 }
 
@@ -117,31 +119,4 @@ func buildOperand(spec Spec) (*tensor.Operand, error) {
 		return &tensor.Operand{Compact: m.Compact()}, nil
 	}
 	return &tensor.Operand{Wide: m}, nil
-}
-
-// storeOperand writes the operand atomically: a temp file in the cache
-// directory renamed into place, so concurrent processes only ever observe
-// complete entries.
-func storeOperand(path string, op *tensor.Operand) {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*.drtb")
-	if err != nil {
-		return
-	}
-	defer os.Remove(tmp.Name())
-	if op.Compact != nil {
-		err = op.Compact.WriteBinary(tmp)
-	} else {
-		err = op.Wide.WriteBinary(tmp)
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return
-	}
-	os.Rename(tmp.Name(), path)
 }

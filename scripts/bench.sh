@@ -26,6 +26,17 @@
 #                                       # ci smoke variant: same pipeline at
 #                                       # a reduced scale and a looser warm
 #                                       # guard; writes no snapshot
+#   scripts/bench.sh tracestore         # the persistent-trace-store flagship:
+#                                       # the retimed sweep figures (fig12,
+#                                       # fig15, fig16) run direct, cold
+#                                       # (recording into a fresh store) and
+#                                       # warm (fresh process replaying from
+#                                       # disk), with byte-identity and
+#                                       # minimum-warm-speedup guards; writes
+#                                       # BENCH_tracestore_<date>.json
+#   SCALE=32 MIN_SPEEDUP=2 scripts/bench.sh tracestore
+#                                       # ci smoke variant: reduced scale,
+#                                       # looser guard, no snapshot
 #
 # Guard tolerances (what ci runs, and why):
 #   allocs/op factor (arg 2, default 2.0) — allocs at -benchtime 1x are
@@ -59,7 +70,92 @@ case "${1:-}" in
   compare) mode=compare; shift ;;
   guard) mode=guard; shift ;;
   scale1) mode=scale1; shift ;;
+  tracestore) mode=tracestore; shift ;;
 esac
+
+if [ "$mode" = tracestore ]; then
+  # Persistent-trace-store flagship: the retimed sweep figures — fig12,
+  # fig15, fig16, which share their prepared workloads, so the warm floor
+  # is one preparation pass — run three ways: direct (store off), cold
+  # (recording every schedule into a fresh store) and warm (a fresh
+  # process replaying everything from disk). Three checks:
+  #   1. all three runs print byte-identical tables (replay is bit-for-bit
+  #      equal to direct simulation; only the wall-clock lines differ),
+  #   2. the warm run is at least MIN_SPEEDUP x faster than the cold one,
+  #   3. at the default scale a BENCH_tracestore_<date>.json snapshot is
+  #      written — its own drtmetrics series, never mixed with the scaled
+  #      BENCH_* drift.
+  scale="${SCALE:-16}"
+  minspeed="${MIN_SPEEDUP:-5}"
+  figs="${FIGS:-fig12,fig15,fig16}"
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  store="$work/traces"
+
+  go build -o "$work/drtbench" ./cmd/drtbench
+
+  now_ns() { date +%s%N; }
+  # The tables are byte-identical; only drtbench's per-experiment
+  # wall-clock lines differ between runs.
+  norm() { grep -v 'completed in' "$1"; }
+
+  echo "tracestore: direct run ($figs, scale $scale, store off)"
+  t0=$(now_ns)
+  "$work/drtbench" -exp "$figs" -scale "$scale" -trace-store off > "$work/direct.txt"
+  direct=$(( $(now_ns) - t0 ))
+
+  echo "tracestore: cold recording run"
+  t0=$(now_ns)
+  "$work/drtbench" -exp "$figs" -scale "$scale" -trace-store "$store" > "$work/cold.txt"
+  cold=$(( $(now_ns) - t0 ))
+
+  echo "tracestore: warm replay run (fresh process, same store)"
+  t0=$(now_ns)
+  "$work/drtbench" -exp "$figs" -scale "$scale" -trace-store "$store" > "$work/warm.txt"
+  warm=$(( $(now_ns) - t0 ))
+
+  for v in cold warm; do
+    if ! diff <(norm "$work/direct.txt") <(norm "$work/$v.txt") > /dev/null; then
+      echo "bench.sh: tracestore: $v run's tables differ from direct simulation" >&2
+      diff <(norm "$work/direct.txt") <(norm "$work/$v.txt") | head -20 >&2
+      exit 1
+    fi
+  done
+  echo "tracestore: cold and warm tables == direct simulation (ok)"
+
+  entries=$(find "$store" -name '*.drtt' | wc -l)
+  echo "tracestore: direct $((direct / 1000000)) ms, cold $((cold / 1000000)) ms, warm $((warm / 1000000)) ms ($entries stored traces)"
+  if ! awk -v c="$cold" -v w="$warm" -v m="$minspeed" 'BEGIN { exit !(c >= w * m) }'; then
+    echo "bench.sh: tracestore: warm store run only $(awk -v c="$cold" -v w="$warm" 'BEGIN{printf "%.1f", c/w}')x faster than cold (need ${minspeed}x)" >&2
+    exit 1
+  fi
+  echo "tracestore: warm speedup $(awk -v c="$cold" -v w="$warm" 'BEGIN{printf "%.1f", c/w}')x (>= ${minspeed}x, ok)"
+
+  if [ "$scale" != 16 ]; then
+    echo "tracestore: scale $scale smoke run — no snapshot written"
+    exit 0
+  fi
+  out="BENCH_tracestore_$(date +%F).json"
+  n=2
+  while [ -e "$out" ]; do
+    out="BENCH_tracestore_$(date +%F)_$((n)).json"
+    n=$((n + 1))
+  done
+  {
+    printf '{\n  "date": "%s",\n  "go": "%s",\n  "benchtime": "wall",\n' \
+      "$(date -u +%FT%TZ)" "$(go env GOVERSION)"
+    printf '  "goos": "%s",\n  "goarch": "%s",\n' \
+      "$(go env GOOS)" "$(go env GOARCH)"
+    printf '  "note": "%s",\n' "${NOTE:-}"
+    printf '  "benchmarks": [\n'
+    printf '    {"name":"TracestoreDirect","iterations":1,"ns_per_op":%d},\n' "$direct"
+    printf '    {"name":"TracestoreCold","iterations":1,"ns_per_op":%d},\n' "$cold"
+    printf '    {"name":"TracestoreWarm","iterations":1,"ns_per_op":%d}\n' "$warm"
+    printf '  ]\n}\n'
+  } > "$out"
+  echo "wrote $out"
+  exit 0
+fi
 
 if [ "$mode" = scale1 ]; then
   # Full-scale flagship run: tab3 (the matrix inventory — generation and
@@ -150,10 +246,14 @@ raw="$(mktemp)"
 fresh="$(mktemp)"
 trap 'rm -f "$raw" "$fresh"' EXIT
 
-# newest_baseline prints the path of the newest BENCH_*.json committed to
-# git (dated names sort chronologically; _N suffixes sort after the base).
+# newest_baseline prints the path of the newest default-series BENCH_*.json
+# committed to git (dated names sort chronologically; _N suffixes sort
+# after the base). Tagged series — BENCH_scale1_*, BENCH_tracestore_* —
+# are excluded: their wall-clock entries carry none of the guarded
+# benchmark names and would otherwise shadow the real baseline (tags sort
+# after date digits, so the newest file overall is usually a tagged one).
 newest_baseline() {
-  git ls-files 'BENCH_*.json' | LC_ALL=C sort | tail -1
+  git ls-files 'BENCH_*.json' | grep -E '^BENCH_[0-9]' | LC_ALL=C sort | tail -1 || true
 }
 
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem ./... | tee "$raw"
