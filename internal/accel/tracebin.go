@@ -89,16 +89,17 @@ func traceBinarySize(nameLen, nTasks, nRows, nSubs, nExts, nDists int) int64 {
 		int64(nDists)*traceItemSize
 }
 
-// traceScratch pools the codec's chunk buffers: one 1 MiB buffer serves a
-// whole encode or decode pass, so (de)serializing a trace costs a handful
-// of allocations — the trace's own arrays — regardless of size.
+// traceScratch pools the decoder's chunk buffers: one 1 MiB buffer serves
+// a whole decode pass, so deserializing a trace costs a handful of
+// allocations — the trace's own arrays — regardless of size. (Encoding
+// buffers through bufio.Writer and needs no scratch.)
 var traceScratch = sync.Pool{New: func() any {
 	b := make([]byte, 1<<20)
 	return &b
 }}
 
-// traceEncoder streams little-endian fields through a pooled chunk into
-// the underlying writer.
+// traceEncoder streams little-endian fields into the underlying buffered
+// writer.
 type traceEncoder struct {
 	w   *bufio.Writer
 	err error
@@ -129,8 +130,6 @@ func (e *traceEncoder) pad(n int) {
 
 // WriteBinary writes the trace in .drtt form.
 func (t *Trace) WriteBinary(w io.Writer) error {
-	bufp := traceScratch.Get().(*[]byte)
-	defer traceScratch.Put(bufp)
 	bw := bufio.NewWriterSize(w, 1<<20)
 	e := &traceEncoder{w: bw}
 
@@ -287,21 +286,30 @@ type traceDecoder struct {
 	buf []byte // pooled chunk
 }
 
-// section reads exactly n bytes via the chunk buffer and passes each
-// filled chunk to fn. fn must consume chunk fully.
-func (d *traceDecoder) section(n int64, fn func(chunk []byte) error) error {
+// section reads exactly n bytes (a multiple of the rec record size) via
+// the chunk buffer and passes each filled chunk to fn. Every chunk is
+// trimmed to a whole number of rec-byte records — the pooled buffer's
+// 1 MiB is not a multiple of every record size (1<<20 % 96 = 64), so an
+// untrimmed chunk boundary would split a record. fn must consume chunk
+// fully.
+func (d *traceDecoder) section(n, rec int64, fn func(chunk []byte) error) error {
+	whole := int64(len(d.buf)) / rec * rec
+	if whole <= 0 {
+		return fmt.Errorf("accel: trace decode buffer of %d bytes cannot hold a %d-byte record", len(d.buf), rec)
+	}
 	for n > 0 {
-		chunk := d.buf
-		if int64(len(chunk)) > n {
-			chunk = chunk[:n]
+		c := whole
+		if c > n {
+			c = n
 		}
+		chunk := d.buf[:c]
 		if _, err := io.ReadFull(d.r, chunk); err != nil {
 			return err
 		}
 		if err := fn(chunk); err != nil {
 			return err
 		}
-		n -= int64(len(chunk))
+		n -= c
 	}
 	return nil
 }
@@ -364,7 +372,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if h.nTasks > 0 {
 		tr.taskRecs = make([]traceTask, h.nTasks)
 		i := 0
-		err := d.section(int64(h.nTasks)*traceTaskSize, func(chunk []byte) error {
+		err := d.section(int64(h.nTasks)*traceTaskSize, traceTaskSize, func(chunk []byte) error {
 			for len(chunk) > 0 {
 				f := func(j int) int64 { return int64(binary.LittleEndian.Uint64(chunk[8*j:])) }
 				tr.taskRecs[i] = traceTask{
@@ -386,7 +394,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 
 	readItems := func(n int, set func(i int, a, b int64)) error {
 		i := 0
-		return d.section(int64(n)*traceItemSize, func(chunk []byte) error {
+		return d.section(int64(n)*traceItemSize, traceItemSize, func(chunk []byte) error {
 			for len(chunk) > 0 {
 				set(i,
 					int64(binary.LittleEndian.Uint64(chunk[0:8])),
@@ -412,7 +420,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if h.nExts > 0 {
 		tr.exts = make([]int64, h.nExts)
 		i := 0
-		err := d.section(int64(h.nExts)*8, func(chunk []byte) error {
+		err := d.section(int64(h.nExts)*8, 8, func(chunk []byte) error {
 			for len(chunk) > 0 {
 				tr.exts[i] = int64(binary.LittleEndian.Uint64(chunk[0:8]))
 				i++
@@ -427,7 +435,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if h.nDists > 0 {
 		tr.dists = make([]distEvent, h.nDists)
 		i := 0
-		err := d.section(int64(h.nDists)*traceItemSize, func(chunk []byte) error {
+		err := d.section(int64(h.nDists)*traceItemSize, traceItemSize, func(chunk []byte) error {
 			for len(chunk) > 0 {
 				flags := binary.LittleEndian.Uint64(chunk[8:16])
 				if flags&^uint64(1) != 0 {

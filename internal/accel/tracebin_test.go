@@ -172,6 +172,55 @@ func TestTraceBinaryFuzzedRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceBinaryLargeRoundTrip pins decoding across chunk boundaries.
+// The decoder streams sections through a pooled 1 MiB buffer, and 1<<20
+// is not a multiple of the 96-byte task record (1<<20 % 96 = 64), so any
+// trace with ≥ 10923 tasks forces a chunk boundary inside the task
+// section — exactly where an untrimmed chunk would split a record. The
+// 16- and 8-byte item sections divide 1 MiB evenly but still span
+// multiple chunks here, covering the multi-chunk path for every record
+// size.
+func TestTraceBinaryLargeRoundTrip(t *testing.T) {
+	const nTasks = 12000 // > 1<<20/96 ≈ 10922.7 tasks per chunk
+	flat := &Trace{Name: "large-flat", tasks: nTasks}
+	flat.taskRecs = make([]traceTask, nTasks)
+	// 6 rows per task ⇒ 72000 rows > 65536 (one 1 MiB chunk of 16-byte
+	// items), so the row section spans chunks too.
+	flat.rows = make([]rowCost, 6*nTasks)
+	for i := range flat.rows {
+		flat.rows[i] = rowCost{scanned: int64(i), maccs: int64(2 * i)}
+	}
+	for i := range flat.taskRecs {
+		flat.taskRecs[i] = traceTask{
+			bytes: int64(i), scanTiles: int64(i % 7), probes: i % 11, rebuiltTiles: int64(i % 3),
+			rowsLo: 6 * i, rowsHi: 6 * (i + 1),
+		}
+	}
+	traceRoundTrip(t, flat)
+
+	hier := &Trace{Name: "large-hier", hierarchical: true, tasks: nTasks}
+	hier.taskRecs = make([]traceTask, nTasks)
+	hier.subs = make([]rowCost, 6*nTasks)
+	hier.exts = make([]int64, 12*nTasks) // 144000 × 8 bytes > one chunk
+	hier.dists = make([]distEvent, 6*nTasks)
+	for i := range hier.subs {
+		hier.subs[i] = rowCost{scanned: int64(i), maccs: int64(3 * i)}
+		hier.dists[i] = distEvent{footprint: int64(i), multicast: i%2 == 1}
+	}
+	for i := range hier.exts {
+		hier.exts[i] = int64(i)
+	}
+	for i := range hier.taskRecs {
+		hier.taskRecs[i] = traceTask{
+			bytes:  int64(i),
+			subsLo: 6 * i, subsHi: 6 * (i + 1),
+			extsLo: 12 * i, extsHi: 12 * (i + 1),
+			distsLo: 6 * i, distsHi: 6 * (i + 1),
+		}
+	}
+	traceRoundTrip(t, hier)
+}
+
 // TestTraceBinaryWideBoundary pins extreme field values: int64 extrema in
 // every ledger and per-item slot survive the round trip exactly.
 func TestTraceBinaryWideBoundary(t *testing.T) {

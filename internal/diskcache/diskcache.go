@@ -56,9 +56,22 @@ func Key(blob []byte) string {
 // value and a nil *Cache are valid, permanently disabled caches.
 type Cache struct {
 	root   string
-	ext    string   // entry filename extension, e.g. ".drtb"
-	budget int64    // stored-byte budget; <= 0 disables eviction
-	flight sync.Map // key string → *sync.Mutex
+	ext    string // entry filename extension, e.g. ".drtb"
+	budget int64  // stored-byte budget; <= 0 disables eviction
+
+	// flight is the refcounted per-key lock table behind Lock. Entries
+	// exist only while some goroutine holds or waits on them — the last
+	// unlock deletes the key — so a long-lived process sweeping many
+	// distinct keys does not grow the table without bound.
+	flightMu sync.Mutex
+	flight   map[string]*flightLock
+}
+
+// flightLock is one in-flight key's lock plus the count of goroutines
+// holding or waiting on it.
+type flightLock struct {
+	sync.Mutex
+	refs int
 }
 
 // New returns a cache rooted at root (empty = disabled) whose entries use
@@ -93,9 +106,26 @@ func (c *Cache) Lock(key string) func() {
 	if !c.Enabled() {
 		return func() {}
 	}
-	mu, _ := c.flight.LoadOrStore(key, &sync.Mutex{})
-	mu.(*sync.Mutex).Lock()
-	return mu.(*sync.Mutex).Unlock
+	c.flightMu.Lock()
+	if c.flight == nil {
+		c.flight = make(map[string]*flightLock)
+	}
+	fl := c.flight[key]
+	if fl == nil {
+		fl = &flightLock{}
+		c.flight[key] = fl
+	}
+	fl.refs++
+	c.flightMu.Unlock()
+	fl.Lock()
+	return func() {
+		fl.Unlock()
+		c.flightMu.Lock()
+		if fl.refs--; fl.refs == 0 {
+			delete(c.flight, key)
+		}
+		c.flightMu.Unlock()
+	}
 }
 
 // Has reports whether an entry for key exists on disk.

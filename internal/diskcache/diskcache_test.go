@@ -181,6 +181,33 @@ func TestLockSingleflight(t *testing.T) {
 	wg.Wait()
 }
 
+// TestLockTableDrains pins the lock table's boundedness: flight entries
+// exist only while some goroutine holds or waits on them, so a process
+// sweeping many distinct keys ends with an empty table, not one mutex per
+// key it ever touched.
+func TestLockTableDrains(t *testing.T) {
+	c := New(t.TempDir(), ".drtt", 0)
+	var wg sync.WaitGroup
+	keys := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				unlock := c.Lock(keys[j%len(keys)])
+				unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	c.flightMu.Lock()
+	n := len(c.flight)
+	c.flightMu.Unlock()
+	if n != 0 {
+		t.Fatalf("flight table holds %d entries after every unlock returned", n)
+	}
+}
+
 func TestKeyStability(t *testing.T) {
 	if Key([]byte("x")) != Key([]byte("x")) {
 		t.Fatal("Key is not deterministic")

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 
 	"drt/internal/accel"
@@ -122,7 +123,7 @@ func (c *Context) loadStored(key traceKey) (*accel.Trace, bool) {
 	}
 	rec := obs.OrNop(c.Opt.Rec)
 	path := c.store.Path(dk)
-	tr, err := accel.ReadTraceFile(path)
+	tr, err := readStoredTrace(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			// The entry exists but does not decode: purge it so the
@@ -138,6 +139,25 @@ func (c *Context) loadStored(key traceKey) (*accel.Trace, bool) {
 	}
 	c.store.Touch(dk)
 	return tr, true
+}
+
+// decodeTraceFile is the store's trace decoder; tests swap it to inject
+// decoder failures.
+var decodeTraceFile = accel.ReadTraceFile
+
+// readStoredTrace decodes one store entry, converting any panic out of
+// the codec into a plain error. The store's contract is that corrupt
+// entries are misses, never failures; ReadTraceFile upholds that for
+// every corruption it anticipates, and this guard extends it to decoder
+// bugs it does not — a panicking entry is purged and re-recorded instead
+// of crashing the sweep.
+func readStoredTrace(path string) (tr *accel.Trace, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tr, err = nil, fmt.Errorf("exp: panic decoding stored trace %s: %v", path, r)
+		}
+	}()
+	return decodeTraceFile(path)
 }
 
 // storeTrace writes one freshly recorded schedule to the disk tier,

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"drt/internal/accel"
 	"drt/internal/accel/extensor"
 	"drt/internal/obs"
 )
@@ -142,6 +143,38 @@ func TestTraceStoreCorruptEntriesAreMisses(t *testing.T) {
 	}
 	if rec3.Counter("trace_store.misses") != 0 {
 		t.Error("re-recorded entries still miss")
+	}
+}
+
+// TestTraceStoreDecodePanicIsMiss pins the never-fail contract one level
+// deeper than corrupt files: even a decoder that panics outright (an
+// injected stand-in for a codec bug) degrades to misses — the sweep
+// re-records, purges the unreadable entries, and renders the exact table
+// instead of crashing.
+func TestTraceStoreDecodePanicIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	base := Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Parallel: 4, TraceStore: dir}
+	want := renderFig12(t, base)
+	if len(storeFiles(t, dir)) == 0 {
+		t.Fatal("fixture stored no entries")
+	}
+
+	orig := decodeTraceFile
+	decodeTraceFile = func(string) (*accel.Trace, error) { panic("injected decoder bug") }
+	defer func() { decodeTraceFile = orig }()
+
+	rec := obs.NewCollector()
+	opt := base
+	opt.Rec = rec
+	got := renderFig12(t, opt)
+	if got != want {
+		t.Errorf("panicking decoder changed the table:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if rec.Counter("trace_store.hits") != 0 {
+		t.Error("panicking decoder produced hits")
+	}
+	if rec.Counter("trace_store.misses") == 0 {
+		t.Error("panicking decoder was not counted as misses")
 	}
 }
 
