@@ -104,6 +104,48 @@ func BenchmarkFig12Replay(b *testing.B) {
 	}
 }
 
+// BenchmarkFig12ReplayBatched prices the same 12-point sweep as
+// BenchmarkFig12Replay in one RetimeBatch call — the batched path the
+// rewired Fig. 12 runner uses. The per-sweep-point cost (ns/op ÷ 12)
+// against BenchmarkFig12Replay's (ns/op ÷ 12) is the tentpole's ≥3×
+// replay speedup claim: the 12 configurations collapse to 3 compute
+// lanes and 1 extract lane, and the trace streams through once.
+func BenchmarkFig12ReplayBatched(b *testing.B) {
+	c := ctx()
+	e := workloads.Fig6Set()[0]
+	w, err := c.Square(e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := extensor.DefaultOptions()
+	opt.Machine = c.Machine()
+	tr, err := extensor.Record(extensor.OPDRT, w, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kinds := []sim.IntersectKind{sim.SkipBased, sim.Parallel, sim.SerialOptimal}
+	mults := []float64{1, 2, 4, 8}
+	var opts []extensor.Options
+	for _, mult := range mults {
+		for _, kind := range kinds {
+			ro := opt
+			ro.Machine.DRAMBandwidth *= mult
+			ro.Intersect = kind
+			opts = append(opts, ro)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := extensor.RetimeBatch(extensor.OPDRT, tr, opts)
+		for _, r := range rs {
+			if r.Cycles() <= 0 {
+				b.Fatal("batched retime produced a non-positive runtime")
+			}
+		}
+	}
+}
+
 func BenchmarkAblTCCFormat(b *testing.B)     { benchExperiment(b, "abl-tcc") }
 func BenchmarkAblAutoMicroTile(b *testing.B) { benchExperiment(b, "abl-auto") }
 func BenchmarkAblDynPartition(b *testing.B)  { benchExperiment(b, "abl-part") }

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"drt/internal/accel"
@@ -90,6 +91,60 @@ func TestReportGolden(t *testing.T) {
 		}
 		if !bytes.Equal(buf.Bytes(), want) {
 			t.Errorf("report with -grid %s -sched %s -stream=%v -trace-cache=%v diverged from golden file.\n--- got ---\n%s--- want ---\n%s", grid, cfg.sched, cfg.stream, cfg.traceCache, buf.Bytes(), want)
+		}
+	}
+}
+
+// TestReportGoldenTraceStore pins the persistent store's zero-copy leg at
+// the CLI surface: a cold run records the schedule into a fresh store, a
+// warm run in a new context (empty in-memory tier, same store) replays it
+// from disk — via the mmapped TraceView on hosts that support aliasing —
+// and both reports must match the same golden bytes as the direct run.
+func TestReportGoldenTraceStore(t *testing.T) {
+	e, err := workloads.Lookup("bcsstk17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e.Generate(64)
+	w, err := accel.NewWorkload(e.Name, a, a, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "report_bcsstk17.golden"))
+	if err != nil {
+		t.Fatalf("missing golden file (run TestReportGolden with -update to create): %v", err)
+	}
+	dir := t.TempDir()
+	for pass, name := range []string{"cold", "warm"} {
+		rec := obs.NewCollector()
+		c := exp.NewContext(exp.Options{Scale: 64, MicroTile: 8, TraceStore: dir, Rec: rec})
+		r, err := run(c, e.Name, "extensor-op-drt", w, c.Machine(), 4, par.LPT, false, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		report(&buf, w, r, c.Machine())
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s store run diverged from golden file.\n--- got ---\n%s--- want ---\n%s", name, buf.Bytes(), want)
+		}
+		if pass == 0 {
+			if got := rec.Counter("trace_store.misses"); got == 0 {
+				t.Error("cold run reported no store miss")
+			}
+			continue
+		}
+		if got := rec.Counter("trace_store.hits"); got == 0 {
+			t.Error("warm run did not replay from the store")
+		}
+		// linux/amd64 and linux/arm64 both satisfy the aliasing
+		// preconditions, so the warm hit must be a zero-copy view there.
+		if runtime.GOOS == "linux" {
+			if got := rec.Counter("trace_view.opens"); got == 0 {
+				t.Error("warm run on linux did not take the mmap TraceView path")
+			}
+			if got := rec.Counter("trace_view.bytes"); got == 0 {
+				t.Error("warm run on linux served zero view bytes")
+			}
 		}
 	}
 }

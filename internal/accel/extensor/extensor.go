@@ -210,20 +210,44 @@ func Record(v Variant, w *accel.Workload, opt Options) (*accel.Trace, error) {
 // S-U-C variants have no DRT extractor — so sweeping opt.Intersect or
 // opt.Extractor over a static-variant trace is a no-op, matching Run.
 func Retime(v Variant, tr *accel.Trace, opt Options) sim.Result {
-	ro := accel.RetimeOptions{
+	cfg := retimeConfig(v, opt)
+	return accel.Retime(tr, accel.RetimeOptions{
+		Machine:   cfg.Machine,
+		Intersect: cfg.Intersect,
+		Extractor: cfg.Extractor,
+		Rec:       opt.Rec,
+	})
+}
+
+// retimeConfig maps one study configuration onto the engine's pricing
+// knobs, applying the variant's hardware overrides exactly as Run does.
+func retimeConfig(v Variant, opt Options) accel.RetimeConfig {
+	cfg := accel.RetimeConfig{
 		Machine:   opt.Machine,
 		Intersect: opt.Intersect,
 		Extractor: opt.Extractor,
-		Rec:       opt.Rec,
 	}
 	switch v {
 	case Original:
-		ro.Intersect = sim.SkipBased
-		ro.Extractor = extractor.IdealExtractor
+		cfg.Intersect = sim.SkipBased
+		cfg.Extractor = extractor.IdealExtractor
 	case OP:
-		ro.Extractor = extractor.IdealExtractor
+		cfg.Extractor = extractor.IdealExtractor
 	}
-	return accel.Retime(tr, ro)
+	return cfg
+}
+
+// RetimeBatch prices a recorded schedule under every configuration in one
+// streaming pass (accel.Trace.RetimeBatch), with the variant's hardware
+// overrides applied per configuration exactly as Retime applies them.
+// Results are bit-identical to calling Retime per configuration; any
+// attached recorders are ignored (batched replay emits no spans).
+func RetimeBatch(v Variant, tr *accel.Trace, opts []Options) []sim.Result {
+	cfgs := make([]accel.RetimeConfig, len(opts))
+	for i, o := range opts {
+		cfgs[i] = retimeConfig(v, o)
+	}
+	return tr.RetimeBatch(cfgs)
 }
 
 // staticShapes proposes S-U-C tile shapes (in micro-tile grid units) whose

@@ -146,6 +146,33 @@ func Retime(tr *Trace, opt Options) sim.Result {
 	})
 }
 
+// RetimeBatch prices a recorded schedule under every machine in one
+// streaming pass (accel.Trace.RetimeBatch), pinning the design's
+// idealized on-chip hardware per configuration exactly as Retime does.
+// Results are bit-identical to calling Retime per configuration; any
+// attached recorders are ignored.
+func RetimeBatch(tr *Trace, opts []Options) []sim.Result {
+	if tr.v == Untiled {
+		out := make([]sim.Result, len(opts))
+		for i, o := range opts {
+			res := tr.inv
+			res.DRAMCycles = o.Machine.DRAMCycles(res.Traffic.Total())
+			res.ComputeCycles = float64(res.MACCs) / float64(o.Machine.PEs)
+			out[i] = res
+		}
+		return out
+	}
+	cfgs := make([]accel.RetimeConfig, len(opts))
+	for i, o := range opts {
+		cfgs[i] = accel.RetimeConfig{
+			Machine:   o.Machine,
+			Intersect: sim.SerialOptimal,
+			Extractor: extractor.IdealExtractor,
+		}
+	}
+	return tr.eng.RetimeBatch(cfgs)
+}
+
 // untiledInvariant charges the original design's traffic in closed form.
 func untiledInvariant(w *accel.Workload) sim.Result {
 	fa, _ := w.InputFootprint()

@@ -1,0 +1,235 @@
+package accel
+
+import (
+	"sync"
+
+	"drt/internal/extractor"
+	"drt/internal/sim"
+)
+
+// RetimeConfig is one machine/intersect/extractor pricing point for
+// RetimeBatch: RetimeOptions without the recorder. Batched replay prices
+// many points in a single pass over the schedule and emits no per-task
+// spans; attach a recorder to a sequential Retime when one is needed.
+type RetimeConfig struct {
+	Machine   sim.Machine
+	Intersect sim.IntersectKind
+	Extractor extractor.Kind
+}
+
+// Retiming shares work across configurations wherever the replay
+// arithmetic allows it without changing a single float operation:
+//
+//   - The per-task compute replay (sim.ComputeCycles per work item, the
+//     round-robin PEArray, the NoC byte ledger) depends only on the
+//     intersection kind and the PE count, so configurations sharing that
+//     pair share one compute lane — Fig. 12's 12 (bandwidth, unit) points
+//     collapse to 3 lanes.
+//   - The extraction replay (Aggregate tile sums, extractor cost scalars)
+//     depends only on the extractor kind, so it collapses to one lane per
+//     kind.
+//   - Only the task pipeline (whose fetch stage prices DRAM latency and
+//     bandwidth) is inherently per-configuration.
+//
+// Every lane replays exactly the accumulation order Retime uses for any
+// configuration mapped to it, so batched results stay bit-identical to
+// sequential replay (pinned by TestRetimeBatchMatchesSequential).
+
+// computeLane is the shared compute replay for one (intersect kind, PE
+// count) group: the PE array, the NoC ledger, and the current task's
+// compute duration.
+type computeLane struct {
+	kind sim.IntersectKind
+	pes  int // raw Machine.PEs, exactly as Retime reads it
+	pe   *sim.PEArray
+	noc  int64
+	task float64
+}
+
+// extractLane is the shared extraction replay for one extractor kind.
+type extractLane struct {
+	kind  extractor.Kind
+	total float64
+	task  float64
+}
+
+// configLane is one configuration's private state: its task pipeline and
+// the indices of the shared lanes it prices from.
+type configLane struct {
+	comp, ext int
+	pipe      sim.Pipeline
+}
+
+// retimeScratch pools the replay state of both Retime (one PE array) and
+// RetimeBatch (the lane sets), so steady-state replay is allocation-free
+// regardless of the hierarchy shape — the slices and PE arrays grow to
+// the largest shape seen and are reused.
+type retimeScratch struct {
+	pe    *sim.PEArray
+	comp  []computeLane
+	ext   []extractLane
+	lanes []configLane
+}
+
+var retimePool = sync.Pool{New: func() any { return &retimeScratch{} }}
+
+// peArray returns the scratch's pooled PE array, re-idled at n PEs.
+func (sc *retimeScratch) peArray(n int) *sim.PEArray {
+	if sc.pe == nil {
+		sc.pe = sim.NewPEArray(n)
+		return sc.pe
+	}
+	sc.pe.Reset(n)
+	return sc.pe
+}
+
+// plan maps each configuration onto its shared compute/extract lanes,
+// reusing the scratch's slices and PE arrays.
+func (sc *retimeScratch) plan(configs []RetimeConfig) {
+	sc.comp = sc.comp[:0]
+	sc.ext = sc.ext[:0]
+	if cap(sc.lanes) < len(configs) {
+		sc.lanes = make([]configLane, len(configs))
+	} else {
+		sc.lanes = sc.lanes[:len(configs)]
+	}
+	for i, cfg := range configs {
+		ci := -1
+		for j := range sc.comp {
+			if sc.comp[j].kind == cfg.Intersect && sc.comp[j].pes == cfg.Machine.PEs {
+				ci = j
+				break
+			}
+		}
+		if ci < 0 {
+			ci = len(sc.comp)
+			if ci < cap(sc.comp) {
+				// Reuse the retired lane's PE array in place.
+				sc.comp = sc.comp[:ci+1]
+				pe := sc.comp[ci].pe
+				if pe == nil {
+					pe = sim.NewPEArray(cfg.Machine.PEs)
+				} else {
+					pe.Reset(cfg.Machine.PEs)
+				}
+				sc.comp[ci] = computeLane{kind: cfg.Intersect, pes: cfg.Machine.PEs, pe: pe}
+			} else {
+				sc.comp = append(sc.comp, computeLane{
+					kind: cfg.Intersect, pes: cfg.Machine.PEs,
+					pe: sim.NewPEArray(cfg.Machine.PEs),
+				})
+			}
+		}
+		ei := -1
+		for j := range sc.ext {
+			if sc.ext[j].kind == cfg.Extractor {
+				ei = j
+				break
+			}
+		}
+		if ei < 0 {
+			ei = len(sc.ext)
+			sc.ext = append(sc.ext, extractLane{kind: cfg.Extractor})
+		}
+		sc.lanes[i] = configLane{comp: ci, ext: ei}
+	}
+}
+
+// RetimeBatch prices the recorded schedule under every configuration in
+// one streaming pass over the task/row/sub records, returning results in
+// configuration order. Each result is bit-for-bit identical to
+// Retime(RetimeOptions{Machine, Intersect, Extractor}) of the same
+// configuration: the shared lanes replay the exact accumulation order of
+// sequential replay, they just replay it once per distinct lane instead
+// of once per configuration.
+func (t *Trace) RetimeBatch(configs []RetimeConfig) []sim.Result {
+	out := make([]sim.Result, len(configs))
+	if len(configs) == 0 {
+		return out
+	}
+	sc := retimePool.Get().(*retimeScratch)
+	sc.plan(configs)
+	for ti := range t.taskRecs {
+		task := &t.taskRecs[ti]
+		for ei := range sc.ext {
+			el := &sc.ext[ei]
+			if t.hierarchical {
+				var innerExtract float64
+				if el.kind == extractor.ParallelExtractor {
+					for _, n := range t.exts[task.extsLo:task.extsHi] {
+						innerExtract += float64(n) / extractor.Width
+					}
+				}
+				el.total += innerExtract
+			}
+			el.task = extractor.CostScalars(el.kind, task.scanTiles, task.probes, task.rebuiltTiles).Total()
+			el.total += el.task
+		}
+		for ci := range sc.comp {
+			cl := &sc.comp[ci]
+			pes := float64(cl.pes)
+			if t.hierarchical {
+				var innerCompute float64
+				for _, s := range t.subs[task.subsLo:task.subsHi] {
+					cycles := sim.ComputeCycles(cl.kind, s.scanned, s.maccs)
+					cl.pe.Assign(cycles)
+					innerCompute += cycles
+				}
+				for _, d := range t.dists[task.distsLo:task.distsHi] {
+					if d.multicast {
+						cl.noc += d.footprint / int64(cl.pes)
+					} else {
+						cl.noc += d.footprint
+					}
+				}
+				cl.task = innerCompute / pes
+			} else {
+				var taskCompute float64
+				for _, r := range t.rows[task.rowsLo:task.rowsHi] {
+					rc := sim.ComputeCycles(cl.kind, r.scanned, r.maccs)
+					cl.pe.Assign(rc)
+					taskCompute += rc
+				}
+				cl.task = taskCompute / pes
+			}
+		}
+		for li := range sc.lanes {
+			ln := &sc.lanes[li]
+			fetch := 0.0
+			if task.bytes > 0 {
+				m := &configs[li].Machine
+				fetch = m.DRAMLatency + m.DRAMCycles(task.bytes)
+			}
+			ln.pipe.Push(sc.ext[ln.ext].task, fetch, sc.comp[ln.comp].task)
+		}
+	}
+	for li := range configs {
+		ln := &sc.lanes[li]
+		cl := &sc.comp[ln.comp]
+		res := sim.Result{
+			Name:         t.Name,
+			Traffic:      t.traffic,
+			MACCs:        t.maccs,
+			IntersectOps: t.intersectOps,
+			Tasks:        t.tasks,
+			EmptyTasks:   t.emptyTasks,
+			Overflows:    t.overflows,
+		}
+		res.DRAMCycles = configs[li].Machine.DRAMCycles(res.Traffic.Total())
+		res.ComputeCycles = cl.pe.MaxBusy()
+		res.ExtractCycles = sc.ext[ln.ext].total
+		res.PipelineCyclesExact = ln.pipe.Makespan()
+		if res.DRAMCycles > res.PipelineCyclesExact {
+			res.PipelineCyclesExact = res.DRAMCycles
+		}
+		res.BufferAccessBytes = t.inputTraffic + res.Traffic.Z + res.MACCs*PartialBytes
+		if t.hierarchical {
+			res.NoCBytes = cl.noc
+		} else {
+			res.NoCBytes = t.inputTraffic
+		}
+		out[li] = res
+	}
+	retimePool.Put(sc)
+	return out
+}

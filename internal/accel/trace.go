@@ -131,7 +131,8 @@ func Retime(tr *Trace, opt RetimeOptions) sim.Result {
 		EmptyTasks:   tr.emptyTasks,
 		Overflows:    tr.overflows,
 	}
-	pe := sim.NewPEArray(opt.Machine.PEs)
+	sc := retimePool.Get().(*retimeScratch)
+	pe := sc.peArray(opt.Machine.PEs)
 	pes := float64(opt.Machine.PEs)
 	var extractTotal float64
 	var nocBytes int64
@@ -182,6 +183,7 @@ func Retime(tr *Trace, opt RetimeOptions) sim.Result {
 	}
 	res.DRAMCycles = opt.Machine.DRAMCycles(res.Traffic.Total())
 	res.ComputeCycles = pe.MaxBusy()
+	retimePool.Put(sc)
 	res.ExtractCycles = extractTotal
 	res.PipelineCyclesExact = pipe.Makespan()
 	if res.DRAMCycles > res.PipelineCyclesExact {

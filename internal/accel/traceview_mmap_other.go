@@ -1,0 +1,9 @@
+//go:build !unix
+
+package accel
+
+// mmapTraceFile is unavailable on this platform; OpenTrace falls back to
+// decoding the file into the heap.
+func mmapTraceFile(path string) ([]byte, bool, error) { return nil, false, nil }
+
+func unmapTrace(data []byte) error { return nil }

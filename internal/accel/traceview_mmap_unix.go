@@ -1,0 +1,35 @@
+//go:build unix
+
+package accel
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapTraceFile memory-maps a .drtt file read-only. ok is false (with no
+// error) when the file is empty or the filesystem refuses the mapping,
+// in which case OpenTrace falls back to a heap decode.
+func mmapTraceFile(path string) (data []byte, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if st.Size() == 0 || st.Size() != int64(int(st.Size())) {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (or exhausted address space)
+		// fall back to the heap decode rather than failing the load.
+		return nil, false, nil
+	}
+	return data, true, nil
+}
+
+func unmapTrace(data []byte) error { return syscall.Munmap(data) }

@@ -158,37 +158,42 @@ func (c *Context) AblDynPart() (*metrics.Table, error) {
 	if len(entries) > 8 {
 		entries = entries[:8]
 	}
+	// Each partition is its own trace key (singleton group), but the
+	// flattened fan-out prices all 7 candidates of every entry on the pool
+	// at once instead of serializing them inside each entry cell. Points
+	// 7i..7i+6 are entry i's fixed split followed by the candidates, in
+	// the comparison order the per-entry loop used.
+	stride := 1 + len(candidates)
+	points := make([]sweepPoint, stride*len(entries))
+	for ei, e := range entries {
+		opt := c.extensorOptions()
+		points[stride*ei] = sweepPoint{E: e, V: extensor.OPDRT, Opt: opt}
+		for pi, p := range candidates {
+			opt.Partition = p
+			points[stride*ei+1+pi] = sweepPoint{E: e, V: extensor.OPDRT, Opt: opt}
+		}
+	}
+	results, err := c.runPoints(points)
+	if err != nil {
+		return nil, err
+	}
 	type cell struct {
 		fixedMS, bestMS float64
 		bestPart        sim.Partition
 	}
-	cells, err := forEntries(c, entries, func(e workloads.Entry) (cell, error) {
-		w, err := c.Square(e)
-		if err != nil {
-			return cell{}, err
-		}
-		opt := c.extensorOptions()
-		fixed, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
-		if err != nil {
-			return cell{}, err
-		}
+	cells := make([]cell, len(entries))
+	for ei := range entries {
+		opt := points[stride*ei].Opt
 		cl := cell{bestPart: opt.Partition}
-		cl.fixedMS = opt.Machine.Seconds(fixed.Cycles()) * 1e3
+		cl.fixedMS = opt.Machine.Seconds(results[stride*ei].Cycles()) * 1e3
 		cl.bestMS = cl.fixedMS
-		for _, p := range candidates {
-			opt.Partition = p
-			r, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
-			if err != nil {
-				return cell{}, err
-			}
+		for pi, p := range candidates {
+			r := results[stride*ei+1+pi]
 			if ms := opt.Machine.Seconds(r.Cycles()) * 1e3; ms < cl.bestMS {
 				cl.bestMS, cl.bestPart = ms, p
 			}
 		}
-		return cl, nil
-	})
-	if err != nil {
-		return nil, err
+		cells[ei] = cl
 	}
 	for i, e := range entries {
 		cl := cells[i]
@@ -214,34 +219,27 @@ func (c *Context) AblPipeline() (*metrics.Table, error) {
 		entries = entries[:8]
 	}
 	variants := []extensor.Variant{extensor.OP, extensor.OPDRT}
-	type cell struct{ pm, ev float64 }
-	cells, err := forEntries(c, entries, func(e workloads.Entry) ([]cell, error) {
-		w, err := c.Square(e)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]cell, len(variants))
+	// Flatten the (entry, variant) grid so both variants of every entry
+	// run on the pool at once; OP (no pinned shape) is trace-ineligible
+	// and runs the full engine, OPDRT replays its shared trace.
+	points := make([]sweepPoint, len(entries)*len(variants))
+	for ei, e := range entries {
 		for vi, v := range variants {
-			r, err := c.runExtensor(v, e.Name, w, opt)
-			if err != nil {
-				return nil, err
-			}
-			out[vi] = cell{
-				pm: opt.Machine.Seconds(r.Cycles()) * 1e3,
-				ev: opt.Machine.Seconds(r.PipelineCyclesExact) * 1e3,
-			}
+			points[ei*len(variants)+vi] = sweepPoint{E: e, V: v, Opt: opt}
 		}
-		return out, nil
-	})
+	}
+	results, err := c.runPoints(points)
 	if err != nil {
 		return nil, err
 	}
 	for ei, e := range entries {
 		for vi, v := range variants {
-			cl := cells[ei][vi]
-			ratio := cl.ev / cl.pm
+			r := results[ei*len(variants)+vi]
+			pm := opt.Machine.Seconds(r.Cycles()) * 1e3
+			ev := opt.Machine.Seconds(r.PipelineCyclesExact) * 1e3
+			ratio := ev / pm
 			ratios = append(ratios, ratio)
-			t.AddRow(e.Name, v.String(), cl.pm, cl.ev, ratio)
+			t.AddRow(e.Name, v.String(), pm, ev, ratio)
 		}
 	}
 	t.AddRow("geomean", "", "", "", metrics.Geomean(ratios))

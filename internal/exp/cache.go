@@ -128,6 +128,51 @@ func (c *Context) runExtensor(v extensor.Variant, wkey string, w *accel.Workload
 	return extensor.Retime(v, tr, opt), nil
 }
 
+// runExtensorBatch prices every configuration in opts against one shared
+// recorded schedule in a single streaming pass (extensor.RetimeBatch).
+// Every opt must map to the same traceKey — the caller (runPoints) groups
+// by key — so the batch differs only in machine/intersect/extractor
+// knobs, exactly the machine-invariant axis a trace is valid under.
+// Results are bit-identical to calling runExtensor per configuration.
+//
+// Batching also retires the record-on-second-use dance for the group: a
+// K ≥ 2 request is itself the proof of reuse the policy waits for, so the
+// key is marked seen and the schedule recorded immediately instead of
+// paying K direct runs first. Singleton groups and ineligible cells fall
+// back to runExtensor unchanged, preserving the one-shot-grid policy.
+func (c *Context) runExtensorBatch(v extensor.Variant, wkey string, w *accel.Workload, opts []extensor.Options) ([]sim.Result, error) {
+	if len(opts) == 1 {
+		r, err := c.runExtensor(v, wkey, w, opts[0])
+		if err != nil {
+			return nil, err
+		}
+		return []sim.Result{r}, nil
+	}
+	if c.Opt.NoRetimeBatch || !c.traceEligible(v, opts[0]) {
+		out := make([]sim.Result, len(opts))
+		for i, o := range opts {
+			r, err := c.runExtensor(v, wkey, w, o)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	if !c.store.Enabled() {
+		key := c.traceKeyFor(v, wkey, opts[0])
+		c.mu.Lock()
+		c.traceSeen[key] = true
+		c.mu.Unlock()
+	}
+	tr, err := c.extensorTrace(v, wkey, w, opts[0])
+	if err != nil {
+		return nil, err
+	}
+	obs.OrNop(c.Opt.Rec).Count("retime.batch_size", int64(len(opts)))
+	return extensor.RetimeBatch(v, tr, opts), nil
+}
+
 // RunExtensor is the exported runExtensor for CLI callers (drtsim routes
 // its extensor variants through it so -trace-store serves them too): run
 // variant v of the prepared workload under opt, through the two-tier

@@ -98,13 +98,39 @@ func TestTraceCacheKeying(t *testing.T) {
 	}
 }
 
-// TestTraceCacheCounters pins the record-on-second-use accounting: a
-// Fig. 12 run over N workloads serves each workload's first sweep cell
-// directly (direct), records on the second (misses) and serves the
-// remaining 12N - 2N cells from cache (hits).
+// TestTraceCacheCounters pins the batched-sweep accounting: a Fig. 12 run
+// over N workloads groups each workload's 12 (bandwidth, unit) points
+// into one batch, which is itself the proof of reuse — the schedule is
+// recorded immediately (misses) and priced in a single streaming pass
+// (retime.batch_size sums to 12N), with no first-use direct runs and no
+// per-point cache hits.
 func TestTraceCacheCounters(t *testing.T) {
 	rec := obs.NewCollector()
 	c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Rec: rec})
+	if _, err := c.Fig12(); err != nil {
+		t.Fatal(err)
+	}
+	n := int64(len(c.fig6Entries()))
+	if got := rec.Counter("exp.tracecache.direct"); got != 0 {
+		t.Errorf("direct = %d, want 0 (a batch is proof of reuse; no first-use direct run)", got)
+	}
+	if got := rec.Counter("exp.tracecache.misses"); got != n {
+		t.Errorf("misses = %d, want %d (one recording per workload, on the batch request)", got, n)
+	}
+	if got := rec.Counter("exp.tracecache.hits"); got != 0 {
+		t.Errorf("hits = %d, want 0 (the whole sweep prices in one pass per workload)", got)
+	}
+	if got := rec.Counter("retime.batch_size"); got != 12*n {
+		t.Errorf("retime.batch_size = %d, want %d (all 12 points batched per workload)", got, 12*n)
+	}
+}
+
+// TestTraceCacheCountersUnbatched pins that NoRetimeBatch restores the
+// per-point record-on-second-use accounting Fig. 12 had before batching:
+// first cell direct, second records, the remaining 12N - 2N replay.
+func TestTraceCacheCountersUnbatched(t *testing.T) {
+	rec := obs.NewCollector()
+	c := NewContext(Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Rec: rec, NoRetimeBatch: true})
 	if _, err := c.Fig12(); err != nil {
 		t.Fatal(err)
 	}
@@ -117,6 +143,28 @@ func TestTraceCacheCounters(t *testing.T) {
 	}
 	if got := rec.Counter("exp.tracecache.hits"); got != 12*n-2*n {
 		t.Errorf("hits = %d, want %d", got, 12*n-2*n)
+	}
+	if got := rec.Counter("retime.batch_size"); got != 0 {
+		t.Errorf("retime.batch_size = %d, want 0 (batching disabled)", got)
+	}
+}
+
+// TestFig12BatchIdentical pins the batched sweep's bit-identity: the
+// rendered Fig. 12 table must not depend on whether points are priced in
+// one streaming pass per trace or retimed one configuration at a time.
+func TestFig12BatchIdentical(t *testing.T) {
+	render := func(opt Options) string {
+		tb, err := NewContext(opt).Fig12()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.String()
+	}
+	base := Options{Scale: 64, MicroTile: 8, MaxWorkloads: 2, Parallel: 4}
+	batched := render(base)
+	base.NoRetimeBatch = true
+	if unbatched := render(base); batched != unbatched {
+		t.Errorf("batched retiming changed the table:\n--- batched ---\n%s\n--- unbatched ---\n%s", batched, unbatched)
 	}
 }
 

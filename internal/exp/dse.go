@@ -9,7 +9,6 @@ import (
 	"drt/internal/energy"
 	"drt/internal/extractor"
 	"drt/internal/metrics"
-	"drt/internal/par"
 	"drt/internal/sim"
 	"drt/internal/workloads"
 )
@@ -22,33 +21,38 @@ func (c *Context) Fig12() (*metrics.Table, error) {
 	kinds := []sim.IntersectKind{sim.SkipBased, sim.Parallel, sim.SerialOptimal}
 	mults := []float64{1, 2, 4, 8}
 	entries := c.fig6Entries()
-	// One cell per (bandwidth, unit, workload) triple, flattened so every
-	// simulation of the sweep runs on the pool at once; cells are weighted
-	// by their entry's scaled nnz so LPT starts the heavy workloads first.
-	n := len(mults) * len(kinds) * len(entries)
-	weights := c.gridWeights(n, func(i int) workloads.Entry { return entries[i%len(entries)] })
-	speedups, err := par.MapWith(c.pool(weights), n, func(i int) (float64, error) {
-		e := entries[i%len(entries)]
-		kind := kinds[i/len(entries)%len(kinds)]
-		mult := mults[i/len(entries)/len(kinds)]
+	// The CPU reference is machine-sweep-invariant (and O(nnz)): one run
+	// per entry, not one per (bandwidth, unit, workload) cell. Running it
+	// first also builds every memoized S² workload the sweep prices.
+	cpuSecs, err := forEntries(c, entries, func(e workloads.Entry) (float64, error) {
 		w, err := c.Square(e)
 		if err != nil {
 			return 0, err
 		}
-		cpu := cpuref.SpMSpM(w, c.CPU())
-		opt := c.extensorOptions()
-		opt.Machine.DRAMBandwidth *= mult
-		opt.Intersect = kind
-		// All 12 (bandwidth, unit) points share one recorded schedule per
-		// workload: neither knob shapes the tile stream.
-		r, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
-		if err != nil {
-			return 0, err
-		}
-		return cpu.Seconds / opt.Machine.Seconds(r.Cycles()), nil
+		return cpuref.SpMSpM(w, c.CPU()).Seconds, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	// One point per (bandwidth, unit, workload) triple. All 12 (bandwidth,
+	// unit) points share one recorded schedule per workload — neither knob
+	// shapes the tile stream — so runPoints collapses each workload to a
+	// single batched pricing pass over its trace.
+	n := len(mults) * len(kinds) * len(entries)
+	points := make([]sweepPoint, n)
+	for i := range points {
+		opt := c.extensorOptions()
+		opt.Machine.DRAMBandwidth *= mults[i/len(entries)/len(kinds)]
+		opt.Intersect = kinds[i/len(entries)%len(kinds)]
+		points[i] = sweepPoint{E: entries[i%len(entries)], V: extensor.OPDRT, Opt: opt}
+	}
+	results, err := c.runPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	speedups := make([]float64, n)
+	for i, r := range results {
+		speedups[i] = cpuSecs[i%len(entries)] / points[i].Opt.Machine.Seconds(r.Cycles())
 	}
 	for mi, mult := range mults {
 		cells := []any{fmt.Sprintf("%gx", mult)}
@@ -95,27 +99,25 @@ func (c *Context) Fig14() (*metrics.Table, error) {
 			}
 		}
 	}
+	// The partition shapes the schedule, so each (partition, workload)
+	// pair is its own trace key: runPoints keeps all 78 cells as singleton
+	// groups — full per-cell parallelism, record-on-second-use unchanged —
+	// and repeated invocations (benchmarks, the default split shared with
+	// Fig. 12/15/16) replay the recorded traces.
 	n := len(parts) * len(entries)
-	weights := c.gridWeights(n, func(i int) workloads.Entry { return entries[i%len(entries)] })
-	times, err := par.MapWith(c.pool(weights), n, func(i int) (float64, error) {
+	points := make([]sweepPoint, n)
+	for i := range points {
 		opt := c.extensorOptions()
 		opt.Partition = parts[i/len(entries)]
-		e := entries[i%len(entries)]
-		w, err := c.Square(e)
-		if err != nil {
-			return 0, err
-		}
-		// The partition shapes the schedule, so each (partition, workload)
-		// pair records its own trace; repeated invocations (benchmarks, the
-		// default split shared with Fig. 12/15/16) replay it.
-		r, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
-		if err != nil {
-			return 0, err
-		}
-		return opt.Machine.Seconds(r.Cycles()) * 1e3, nil
-	})
+		points[i] = sweepPoint{E: entries[i%len(entries)], V: extensor.OPDRT, Opt: opt}
+	}
+	results, err := c.runPoints(points)
 	if err != nil {
 		return nil, err
+	}
+	times := make([]float64, n)
+	for i, r := range results {
+		times[i] = points[i].Opt.Machine.Seconds(r.Cycles()) * 1e3
 	}
 	for pi, p := range parts {
 		lo := pi * len(entries)
@@ -130,35 +132,30 @@ func (c *Context) Fig14() (*metrics.Table, error) {
 func (c *Context) Fig15() (*metrics.Table, error) {
 	t := metrics.NewTable("Fig. 15: alternating DRT overhead vs greedy (×, lower is better)",
 		"matrix", "traffic-overhead", "runtime-overhead")
-	var trs, rts []float64
-	type cell struct{ tr, rt float64 }
-	cells, err := forEntries(c, c.fig6Entries(), func(e workloads.Entry) (cell, error) {
-		w, err := c.Square(e)
-		if err != nil {
-			return cell{}, err
-		}
+	// The growth strategy shapes the schedule (greedy and alternating are
+	// distinct trace keys), so the grid stays singleton groups — but the
+	// flattened fan-out runs both strategies of every entry on the pool at
+	// once instead of serializing the pair inside each entry cell.
+	entries := c.fig6Entries()
+	points := make([]sweepPoint, 2*len(entries))
+	for i, e := range entries {
 		opt := c.extensorOptions()
-		greedy, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
-		if err != nil {
-			return cell{}, err
-		}
+		points[2*i] = sweepPoint{E: e, V: extensor.OPDRT, Opt: opt}
 		opt.Strategy = core.Alternating
-		alt, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
-		if err != nil {
-			return cell{}, err
-		}
-		return cell{
-			tr: float64(alt.Traffic.Total()) / float64(greedy.Traffic.Total()),
-			rt: alt.Cycles() / greedy.Cycles(),
-		}, nil
-	})
+		points[2*i+1] = sweepPoint{E: e, V: extensor.OPDRT, Opt: opt}
+	}
+	results, err := c.runPoints(points)
 	if err != nil {
 		return nil, err
 	}
-	for i, e := range c.fig6Entries() {
-		trs = append(trs, cells[i].tr)
-		rts = append(rts, cells[i].rt)
-		t.AddRow(e.Name, cells[i].tr, cells[i].rt)
+	var trs, rts []float64
+	for i, e := range entries {
+		greedy, alt := results[2*i], results[2*i+1]
+		tr := float64(alt.Traffic.Total()) / float64(greedy.Traffic.Total())
+		rt := alt.Cycles() / greedy.Cycles()
+		trs = append(trs, tr)
+		rts = append(rts, rt)
+		t.AddRow(e.Name, tr, rt)
 	}
 	t.AddRow("geomean", metrics.Geomean(trs), metrics.Geomean(rts))
 	return t, nil
@@ -173,27 +170,24 @@ func (c *Context) Fig16() (*metrics.Table, error) {
 	if len(entries) > 6 {
 		entries = entries[:6]
 	}
+	// The starting size shapes the schedule: one trace per (startJ,
+	// workload) — singleton groups under runPoints — with the startJ=1
+	// point shared with Fig. 12/15.
 	startJs := []int{1, 2, 4, 8, 16}
 	n := len(entries) * len(startJs)
-	weights := c.gridWeights(n, func(i int) workloads.Entry { return entries[i/len(startJs)] })
-	times, err := par.MapWith(c.pool(weights), n, func(i int) (float64, error) {
-		e := entries[i/len(startJs)]
-		w, err := c.Square(e)
-		if err != nil {
-			return 0, err
-		}
+	points := make([]sweepPoint, n)
+	for i := range points {
 		opt := c.extensorOptions()
 		opt.InitialSize = []int{1, startJs[i%len(startJs)], 1}
-		// The starting size shapes the schedule: one trace per (startJ,
-		// workload), with the startJ=1 point shared with Fig. 12/15.
-		r, err := c.runExtensor(extensor.OPDRT, e.Name, w, opt)
-		if err != nil {
-			return 0, err
-		}
-		return opt.Machine.Seconds(r.Cycles()) * 1e3, nil
-	})
+		points[i] = sweepPoint{E: entries[i/len(startJs)], V: extensor.OPDRT, Opt: opt}
+	}
+	results, err := c.runPoints(points)
 	if err != nil {
 		return nil, err
+	}
+	times := make([]float64, n)
+	for i, r := range results {
+		times[i] = points[i].Opt.Machine.Seconds(r.Cycles()) * 1e3
 	}
 	for ei, e := range entries {
 		cells := []any{e.Name}

@@ -64,6 +64,14 @@ type Options struct {
 	// table is byte-identical either way; the knob exists for verification
 	// and timing comparisons.
 	NoTraceCache bool
+	// NoRetimeBatch disables batched retiming: sweep runners then price
+	// every (machine, unit) point with its own sequential Retime pass
+	// instead of grouping the points that share a recorded schedule into
+	// one streaming RetimeBatch pass. Batched and sequential replay are
+	// bit-identical (pinned by accel's equivalence tests), so every table
+	// is byte-identical either way; the knob exists for bisection and
+	// timing comparisons.
+	NoRetimeBatch bool
 	// TraceBudget bounds the bytes of recorded schedules the context
 	// retains (least-recently-used traces are evicted past it). 0 selects
 	// the 256 MiB default; negative disables eviction. Eviction only costs

@@ -109,10 +109,19 @@ func (c *Context) diskKey(k traceKey) string {
 // or corrupt .drtt file is a miss — corrupt entries are additionally
 // removed so the re-recorded replacement gets a clean slot.
 //
-// Counters (flattened to drt_trace_store_* in the Prometheus export):
-// trace_store.hits, trace_store.misses, trace_store.bytes (bytes served
-// from disk by hits), trace_store.evictions (entries LRU-evicted by this
-// process's stores).
+// Warm entries are served as zero-copy TraceViews (accel.OpenTrace): the
+// returned trace's arrays alias the mmapped file image, so replay skips
+// the decode-to-heap copy; only recording ever materializes a full heap
+// Trace. Like the operand cache's mmap-backed tensors, the mapping is
+// deliberately left open for the process lifetime — the memoized trace
+// cell (and any in-flight retimer) keeps pricing it.
+//
+// Counters (flattened to drt_trace_store_* / drt_trace_view_* in the
+// Prometheus export): trace_store.hits, trace_store.misses,
+// trace_store.bytes (bytes served from disk by hits),
+// trace_store.evictions (entries LRU-evicted by this process's stores),
+// trace_view.opens / trace_view.bytes (hits served on the zero-copy mmap
+// path).
 func (c *Context) loadStored(key traceKey) (*accel.Trace, bool) {
 	if !c.store.Enabled() {
 		return nil, false
@@ -123,7 +132,7 @@ func (c *Context) loadStored(key traceKey) (*accel.Trace, bool) {
 	}
 	rec := obs.OrNop(c.Opt.Rec)
 	path := c.store.Path(dk)
-	tr, err := readStoredTrace(path)
+	v, err := readStoredTrace(path)
 	if err != nil {
 		if !os.IsNotExist(err) {
 			// The entry exists but does not decode: purge it so the
@@ -137,27 +146,31 @@ func (c *Context) loadStored(key traceKey) (*accel.Trace, bool) {
 	if n := c.store.Size(dk); n > 0 {
 		rec.Count("trace_store.bytes", n)
 	}
+	if v.Mapped() {
+		rec.Count("trace_view.opens", 1)
+		rec.Count("trace_view.bytes", v.Bytes())
+	}
 	c.store.Touch(dk)
-	return tr, true
+	return v.Trace(), true
 }
 
-// decodeTraceFile is the store's trace decoder; tests swap it to inject
+// openTraceFile is the store's trace opener; tests swap it to inject
 // decoder failures.
-var decodeTraceFile = accel.ReadTraceFile
+var openTraceFile = accel.OpenTrace
 
-// readStoredTrace decodes one store entry, converting any panic out of
-// the codec into a plain error. The store's contract is that corrupt
-// entries are misses, never failures; ReadTraceFile upholds that for
+// readStoredTrace opens one store entry as a TraceView, converting any
+// panic out of the codec into a plain error. The store's contract is that
+// corrupt entries are misses, never failures; OpenTrace upholds that for
 // every corruption it anticipates, and this guard extends it to decoder
 // bugs it does not — a panicking entry is purged and re-recorded instead
 // of crashing the sweep.
-func readStoredTrace(path string) (tr *accel.Trace, err error) {
+func readStoredTrace(path string) (v *accel.TraceView, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			tr, err = nil, fmt.Errorf("exp: panic decoding stored trace %s: %v", path, r)
+			v, err = nil, fmt.Errorf("exp: panic decoding stored trace %s: %v", path, r)
 		}
 	}()
-	return decodeTraceFile(path)
+	return openTraceFile(path)
 }
 
 // storeTrace writes one freshly recorded schedule to the disk tier,

@@ -159,9 +159,9 @@ func TestTraceStoreDecodePanicIsMiss(t *testing.T) {
 		t.Fatal("fixture stored no entries")
 	}
 
-	orig := decodeTraceFile
-	decodeTraceFile = func(string) (*accel.Trace, error) { panic("injected decoder bug") }
-	defer func() { decodeTraceFile = orig }()
+	orig := openTraceFile
+	openTraceFile = func(string) (*accel.TraceView, error) { panic("injected decoder bug") }
+	defer func() { openTraceFile = orig }()
 
 	rec := obs.NewCollector()
 	opt := base

@@ -184,6 +184,24 @@ func NewPEArray(n int) *PEArray {
 	return &PEArray{busy: make([]float64, n)}
 }
 
+// Reset re-idles the array at n PEs, reusing the busy slice when it is
+// large enough. It lets replay paths pool PEArrays across runs instead of
+// allocating one per pricing pass.
+func (p *PEArray) Reset(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if cap(p.busy) < n {
+		p.busy = make([]float64, n)
+	} else {
+		p.busy = p.busy[:n]
+		for i := range p.busy {
+			p.busy[i] = 0
+		}
+	}
+	p.next = 0
+}
+
 // Assign deals one work item of the given cycle cost to the next PE.
 func (p *PEArray) Assign(cycles float64) {
 	p.busy[p.next] += cycles

@@ -46,8 +46,9 @@
 #     the newest committed snapshot. Local runs use the tight default;
 #     ci's shared runners are noisy, so it guards only order-of-magnitude
 #     timing cliffs (e.g. a sweep falling off the trace cache).
-#   ci's guarded set is Sec65Extraction|Fig12Replay (allocation-sensitive
-#     extraction/replay paths) plus Fig14Partition|Fig17MicroTile, the two
+#   ci's guarded set is Sec65Extraction|Fig12Replay|Fig12ReplayBatched
+#     (allocation-sensitive extraction/replay paths, including the batched
+#     RetimeBatch sweep) plus Fig14Partition|Fig17MicroTile, the two
 #     benchmarks that drifted in mid-2026 (trace-capture overhead on
 #     one-shot sweep cells and retained-trace GC pressure, both since
 #     fixed) — the guard pins them against the *newest* snapshot so the
